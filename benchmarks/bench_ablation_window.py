@@ -1,0 +1,64 @@
+"""Ablation — RNN window length.
+
+The paper fixes 20 steps (4 Hz x 5 s).  This ablation sweeps shorter and
+longer windows on the same IMU distribution to show where 20 sits on the
+accuracy/latency curve (shorter windows = faster detection, less context).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, write_report
+from repro.core import ImuSequenceRNN, RnnConfig
+from repro.datasets import DrivingBehavior, generate_imu_windows
+
+
+def _windowed_set(steps: int, n_per: int, seed: int):
+    rng = np.random.default_rng(seed)
+    windows, labels = [], []
+    for cls, behavior in [(0, DrivingBehavior.NORMAL),
+                          (1, DrivingBehavior.TALKING),
+                          (2, DrivingBehavior.TEXTING)]:
+        windows.append(generate_imu_windows(behavior, n_per, steps=steps,
+                                            rng=rng))
+        labels.append(np.full(n_per, cls))
+    x = np.concatenate(windows)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+def test_ablation_window_length(benchmark):
+    """Train an RNN per window length and compare eval accuracy."""
+    scale = bench_scale()
+    n_per = max(30, scale.dataset_samples // 12)
+    epochs = max(4, scale.rnn_epochs // 2)
+    results = {}
+    for steps in (5, 10, 20, 40):
+        x, y = _windowed_set(steps, n_per, seed=steps)
+        cut = int(0.8 * len(y))
+        rnn = ImuSequenceRNN(RnnConfig(window_steps=steps, epochs=epochs),
+                             rng=np.random.default_rng(1))
+        rnn.fit(x[:cut], y[:cut])
+        results[steps] = rnn.evaluate(x[cut:], y[cut:])
+        final = (rnn, x[cut:])
+    lines = ["Ablation — IMU window length (paper uses 20 = 4 Hz x 5 s)"]
+    for steps, score in results.items():
+        marker = "  <- paper" if steps == 20 else ""
+        lines.append(f"  {steps:>3} steps ({steps / 4.0:4.1f} s): "
+                     f"top1 = {score * 100:6.2f}%{marker}")
+    write_report("ablation_window", "\n".join(lines))
+    rnn, held_out = final
+    benchmark.pedantic(lambda: rnn.predict_proba(held_out),
+                       rounds=1, iterations=1)
+    # Longer context helps: 20 steps beats 5 steps.
+    assert results[20] > results[5] - 0.02
+
+
+def test_ablation_window_inference_scales(benchmark):
+    """Inference cost grows with window length; time the paper's 20."""
+    x, y = _windowed_set(20, 40, seed=0)
+    rnn = ImuSequenceRNN(RnnConfig(epochs=2), rng=np.random.default_rng(2))
+    rnn.fit(x, y)
+
+    probs = benchmark(rnn.predict_proba, x)
+    assert probs.shape == (len(x), 3)

@@ -1,0 +1,49 @@
+"""Extension — adversarial privacy evaluation (paper §5.3 future work).
+
+"Future work is still required to determine how effective these
+distortion techniques are for preventing adversarial networks from
+performing classification tasks e.g. facial recognition."
+
+We run that study: a driver re-identification CNN trained on exactly the
+frames the server receives, per privacy level.  A level is protective to
+the degree the adversary collapses toward the majority-class chance floor
+while the behaviour dCNN (Table 3) keeps working.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale, write_report
+from repro.core import CnnConfig, PrivacyLevel, run_privacy_adversary_study
+
+
+def test_ext_privacy_adversary(benchmark, table3_result):
+    """Re-identification accuracy per distortion level."""
+    scale = bench_scale()
+    # Reuse the Table-3 dataset: 18-class frames across 10 drivers.
+    images = np.concatenate([table3_result.train.images,
+                             table3_result.evaluation.images])
+    drivers = np.concatenate([table3_result.train.drivers,
+                              table3_result.evaluation.drivers])
+    config = CnnConfig(epochs=max(4, scale.cnn_epochs // 2),
+                       width=scale.cnn_width)
+    results = benchmark.pedantic(
+        lambda: run_privacy_adversary_study(
+            images, drivers, config=config, rng=np.random.default_rng(3)),
+        rounds=1, iterations=1)
+    lines = ["Extension — driver re-identification vs. distortion level",
+             f"  (10 drivers; chance floor = majority class share)"]
+    for name in ("clean", "low", "medium", "high"):
+        result = results[name]
+        lines.append(
+            f"  {name:<7} adversary top1 = {result.accuracy * 100:6.2f}%  "
+            f"chance = {result.chance * 100:5.2f}%  "
+            f"privacy margin = {result.privacy_margin:.2f}")
+    write_report("ext_adversary", "\n".join(lines))
+    if bench_scale().name == "smoke":
+        return
+    # Clean frames leak identity well above chance.
+    assert results["clean"].accuracy > results["clean"].chance + 0.1
+    # Distortion reduces identity leakage monotonically in level severity.
+    assert results["high"].accuracy <= results["clean"].accuracy + 0.02
+    assert (results["high"].privacy_margin
+            >= results["clean"].privacy_margin - 0.05)

@@ -1,0 +1,62 @@
+"""Extension — local vs. remote processing placement (paper §3.2).
+
+Sweeps link bandwidth and reports per-verdict latency for both
+placements, showing the crossover the controller's processing decision
+exploits, and how privacy downsampling moves it (smaller frames make
+remote viable at lower bandwidth — the §3.2/§4.3 interaction).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.core import PrivacyLevel
+from repro.streaming import placement_sweep
+
+
+BANDWIDTHS = [5e4, 2e5, 1e6, 5e6, 2e7, 1e8]
+
+
+def test_ext_placement_crossover(benchmark):
+    """Latency per placement across bandwidths, full-resolution frames."""
+    rows = benchmark.pedantic(
+        lambda: placement_sweep(BANDWIDTHS, latency_s=0.005,
+                                rng=np.random.default_rng(0)),
+        rounds=1, iterations=1)
+    lines = ["Extension — processing placement (64x64 frames, 5 ms RTT/2)",
+             f"  {'bandwidth':>12} {'local':>9} {'remote':>9} {'policy':>8}"]
+    for row in rows:
+        lines.append(
+            f"  {row['bandwidth_bps']:>10.0e}  "
+            f"{row['local_seconds'] * 1e3:7.1f}ms "
+            f"{row['remote_seconds'] * 1e3:7.1f}ms {row['decision']:>8}")
+    write_report("ext_placement", "\n".join(lines))
+    # Local is flat; remote improves with bandwidth and eventually wins.
+    local = [row["local_seconds"] for row in rows]
+    remote = [row["remote_seconds"] for row in rows]
+    assert max(local) - min(local) < 1e-9
+    assert remote[0] > local[0]
+    assert remote[-1] < local[-1]
+
+
+def test_ext_placement_privacy_interaction(benchmark):
+    """Downsampled frames shift the remote-viability crossover left."""
+    def sweep_for_edge(edge):
+        return placement_sweep(BANDWIDTHS, frame_edge=edge,
+                               latency_s=0.005,
+                               rng=np.random.default_rng(1))
+
+    full = benchmark.pedantic(lambda: sweep_for_edge(64),
+                              rounds=1, iterations=1)
+    small_edge = PrivacyLevel.HIGH.target_edge(64)
+    small = sweep_for_edge(small_edge)
+    lines = [f"Extension — placement with privacy downsampling "
+             f"(remote latency, ms)",
+             f"  {'bandwidth':>12} {'64px':>9} {f'{small_edge}px':>9}"]
+    for row_full, row_small in zip(full, small):
+        lines.append(f"  {row_full['bandwidth_bps']:>10.0e}  "
+                     f"{row_full['remote_seconds'] * 1e3:7.1f} "
+                     f"{row_small['remote_seconds'] * 1e3:8.1f}")
+    write_report("ext_placement_privacy", "\n".join(lines))
+    # At every bandwidth the distorted frame is at least as fast to ship.
+    for row_full, row_small in zip(full, small):
+        assert row_small["remote_seconds"] <= row_full["remote_seconds"] + 1e-9

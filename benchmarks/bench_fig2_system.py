@@ -1,0 +1,74 @@
+"""Figure 2 — end-to-end system characterization.
+
+The paper's Figure 2 is the architecture diagram (agents -> controller ->
+analytics engine).  This bench exercises that exact path and reports the
+pipeline's operational envelope: ingest rate, clock-sync quality, channel
+latency, and behaviour under packet loss — plus the local-vs-remote
+processing decision of §3.2.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.experiments import run_fig2
+from repro.streaming import (
+    NetworkConditions,
+    ProcessingLocation,
+    decide_processing,
+)
+
+
+def test_fig2_pipeline_characterization(benchmark):
+    """Run a 3-class scripted drive end-to-end and time it."""
+    seeds = iter(range(10_000))
+    result = benchmark.pedantic(
+        lambda: run_fig2(seed=next(seeds), segment_seconds=5.0),
+        rounds=3, iterations=1)
+    lines = [
+        "Figure 2 — end-to-end collection pipeline",
+        f"  simulated drive duration   {result.duration:8.1f} s",
+        f"  IMU readings ingested      {result.readings_received:8d}",
+        f"  frames ingested            {result.frames_received:8d}",
+        f"  aligned grid steps (4 Hz)  {result.grid_steps:8d}",
+        f"  worst clock error          {result.worst_clock_error * 1e3:8.2f} ms",
+        f"  mean uplink latency        {result.mean_latency * 1e3:8.2f} ms",
+        f"  delivery ratio             {result.delivery_ratio:8.3f}",
+        f"  wall-clock per drive       {result.wall_seconds:8.2f} s",
+    ]
+    write_report("fig2_system", "\n".join(lines))
+    assert result.delivery_ratio == 1.0
+    assert result.worst_clock_error < 0.05
+    benchmark.extra_info["sim_to_wall_ratio"] = (
+        result.duration / max(result.wall_seconds, 1e-9))
+
+
+def test_fig2_pipeline_survives_packet_loss(benchmark):
+    """20% loss degrades delivery but the aligned output still forms."""
+    result = benchmark.pedantic(
+        lambda: run_fig2(seed=3, segment_seconds=4.0, drop_probability=0.2),
+        rounds=1, iterations=1)
+    assert 0.5 < result.delivery_ratio < 0.95
+    assert result.grid_steps > 0
+
+
+def test_fig2_processing_decision_boundary(benchmark):
+    """The controller's local/remote choice across network conditions."""
+    conditions = [
+        NetworkConditions(bandwidth_bps=b, latency_s=lat, loss_rate=loss)
+        for b in (1e4, 1e6, 1e7)
+        for lat in (0.01, 1.0)
+        for loss in (0.0, 0.3)
+    ]
+
+    def decide_all():
+        return [decide_processing(c) for c in conditions]
+
+    decisions = benchmark(decide_all)
+    assert ProcessingLocation.LOCAL in decisions
+    assert ProcessingLocation.REMOTE in decisions
+    # Best conditions -> remote; worst -> local.
+    best = NetworkConditions(bandwidth_bps=1e7, latency_s=0.01)
+    worst = NetworkConditions(bandwidth_bps=1e4, latency_s=1.0,
+                              loss_rate=0.3)
+    assert decide_processing(best) is ProcessingLocation.REMOTE
+    assert decide_processing(worst) is ProcessingLocation.LOCAL

@@ -1,0 +1,51 @@
+"""Figure 3 — the three privacy paths and their bandwidth cost.
+
+The paper's Figure 3 shows frames flowing device -> server at three
+downsampling levels; §4.3 quantifies the payoff as ~9x / 25x / 144x less
+data at the paper's 300x300 resolution.  This bench measures the actual
+bytes and per-frame transfer time through the simulated channel at our
+64x64 resolution, and reports both our divisors and the paper's.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.core import DistortionModule, PrivacyLevel
+from repro.experiments import PAPER_DATA_REDUCTION, run_fig3
+
+
+def test_fig3_bandwidth_report(benchmark):
+    """Per-level payload sizes, reduction factors, and transfer times."""
+    result = benchmark(run_fig3)
+    lines = ["Figure 3 — privacy paths: frame transmission cost",
+             f"  full frame ({result.full_edge}x{result.full_edge}): "
+             f"{result.bytes_per_frame['full']} bytes"]
+    for level in PrivacyLevel:
+        name = level.value
+        lines.append(
+            f"  {level.model_name:<7} edge/{level.edge_divisor} "
+            f"-> {result.bytes_per_frame[name]:6d} bytes  "
+            f"measured {result.reduction[name]:6.1f}x reduction  "
+            f"(paper @300px: ~{PAPER_DATA_REDUCTION[name]:.0f}x)  "
+            f"transfer {result.transfer_seconds[name] * 1e3:6.2f} ms")
+    write_report("fig3_bandwidth", "\n".join(lines))
+    assert result.reduction["high"] > result.reduction["medium"] \
+        > result.reduction["low"] > 1.0
+
+
+def test_fig3_distortion_throughput(benchmark):
+    """Time device-side distortion of a frame batch (runs per frame)."""
+    rng = np.random.default_rng(0)
+    batch = rng.random((32, 1, 64, 64)).astype(np.float32)
+    module = DistortionModule(PrivacyLevel.MEDIUM)
+
+    out = benchmark(module.distort_batch, batch)
+    assert out.shape == (32, 1, 21, 21)
+
+
+def test_fig3_transfer_time_ordering(benchmark):
+    """Serialization delay through a bandwidth-limited channel."""
+    result = benchmark(run_fig3, bandwidth_bps=500_000.0)
+    assert (result.transfer_seconds["full"]
+            > result.transfer_seconds["low"]
+            > result.transfer_seconds["high"])

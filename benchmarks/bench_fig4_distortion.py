@@ -1,0 +1,49 @@
+"""Figure 4 — the visual distortion strip.
+
+The paper shows one frame at full resolution and the three downsampled
+sizes ("the distortion levels for dCNN-M and dCNN-H render the image
+almost unidentifiable").  This bench renders the same strip as ASCII art,
+reports PSNR per level, and times the distort/restore round-trip.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_report
+from repro.core import PrivacyLevel, distort_restore
+from repro.experiments import ascii_frame, run_fig4
+
+
+def test_fig4_distortion_strip(benchmark):
+    """Render the Figure-4 strip and check fidelity degrades with level."""
+    result = benchmark(run_fig4, seed=3)
+    sections = []
+    for name in ("full", "low", "medium", "high"):
+        edge = result.edges[name]
+        header = f"--- {name} ({edge}x{edge} px"
+        if name != "full":
+            header += f", PSNR {result.psnr[name]:.1f} dB"
+        header += ") ---"
+        sections.append(header)
+        sections.append(ascii_frame(result.frames[name]))
+    write_report("fig4_distortion", "\n".join(sections))
+    # Low distortion must be the most faithful of the three.
+    assert result.psnr["low"] >= result.psnr["medium"] - 0.5
+    assert result.psnr["low"] >= result.psnr["high"] - 0.5
+
+
+def test_fig4_roundtrip_throughput(benchmark):
+    """Time the distort -> restore pipeline (the dCNN input path)."""
+    rng = np.random.default_rng(1)
+    batch = rng.random((64, 1, 64, 64)).astype(np.float32)
+
+    out = benchmark(distort_restore, batch, PrivacyLevel.HIGH)
+    assert out.shape == batch.shape
+
+
+def test_fig4_information_loss_monotone(benchmark):
+    """Unique pixel values shrink monotonically with distortion level."""
+    result = benchmark(run_fig4, seed=7)
+    unique = {name: len(np.unique(result.frames[name]))
+              for name in ("full", "low", "medium", "high")}
+    assert unique["full"] >= unique["low"] >= unique["medium"] \
+        >= unique["high"]

@@ -1,0 +1,56 @@
+"""Table 3 — CNN vs dCNN Top-1 on the 18-class alternative dataset.
+
+Paper:  CNN 78.87%,  dCNN-L 80.00%,  dCNN-M 77.78%,  dCNN-H 63.13%
+
+Shape criteria: dCNN-L matches or beats the baseline CNN (the paper's
+headline anomaly, attributed to distillation regularizing the overfit
+teacher); dCNN-M lands within a few points; dCNN-H drops double digits
+but stays far above the 1/18 chance floor.
+"""
+
+from benchmarks.conftest import bench_scale, write_report
+from repro.core import PrivacyLevel
+from repro.experiments import format_table3
+
+
+def test_table3_report_and_shape(benchmark, table3_result):
+    """Print paper-vs-measured and assert the accuracy shape."""
+    write_report("table3_privacy", benchmark(format_table3, table3_result))
+    if bench_scale().name == "smoke":
+        return  # shape criteria only hold at default/full training budgets
+    cnn = table3_result.cnn_top1
+    dcnn = table3_result.dcnn_top1
+    # dCNN-L >= baseline (paper: 80.00 vs 78.87).
+    assert dcnn[PrivacyLevel.LOW] >= cnn - 0.02
+    # dCNN-M within a handful of points of the baseline.
+    assert abs(dcnn[PrivacyLevel.MEDIUM] - cnn) < 0.15
+    # dCNN-H well below the best student yet far above chance (1/18).
+    # (Anchored to dCNN-L rather than the teacher: small-data teacher
+    # accuracy is seed-noisy, the student ordering is not.)
+    assert dcnn[PrivacyLevel.HIGH] < dcnn[PrivacyLevel.LOW] - 0.05
+    assert dcnn[PrivacyLevel.HIGH] > 3.0 / 18.0
+    # Severity ordering.
+    assert dcnn[PrivacyLevel.LOW] >= dcnn[PrivacyLevel.MEDIUM] - 0.02
+    assert dcnn[PrivacyLevel.MEDIUM] > dcnn[PrivacyLevel.HIGH]
+
+
+def test_table3_dcnn_inference_throughput(benchmark, table3_result):
+    """Server-side dCNN-H inference on distorted frames."""
+    student = table3_result.students[PrivacyLevel.HIGH]
+    images = table3_result.evaluation.images
+
+    preds = benchmark.pedantic(lambda: student.predict(images),
+                               rounds=3, iterations=1)
+    assert preds.shape[0] == images.shape[0]
+    benchmark.extra_info["top1"] = table3_result.dcnn_top1[PrivacyLevel.HIGH]
+
+
+def test_table3_teacher_inference_throughput(benchmark, table3_result):
+    """Baseline CNN inference on clean frames, for comparison."""
+    teacher = table3_result.teacher
+    images = table3_result.evaluation.images
+
+    preds = benchmark.pedantic(lambda: teacher.predict(images),
+                               rounds=3, iterations=1)
+    assert preds.shape[0] == images.shape[0]
+    benchmark.extra_info["top1"] = table3_result.cnn_top1

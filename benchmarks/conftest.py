@@ -1,0 +1,46 @@
+"""Benchmark harness configuration.
+
+Heavy experiments (Table 2 / Table 3) run once per session in fixtures;
+individual benchmarks time the operational pieces (inference, collection,
+distortion) and attach the paper-vs-measured comparison to the report.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` / ``default`` /
+``full`` (default: ``default``, which reproduces the paper's shape in a
+few minutes).  Every report is also written to ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_scale, run_table2, run_table3
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def bench_scale():
+    """The active experiment scale for this benchmark session."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "default"))
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a paper-vs-measured report and echo it to the terminal."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def table2_result():
+    """Train/evaluate the three Table-2 architectures once per session."""
+    return run_table2(bench_scale(), seed=42)
+
+
+@pytest.fixture(scope="session")
+def table3_result():
+    """Train the 18-class teacher and the three dCNN students once."""
+    return run_table3(bench_scale(), seed=5)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The privacy/accuracy trade-off (paper §4.3 / Table 3).
+
+Trains the 18-class teacher CNN on the alternative dataset, distills one
+dCNN per privacy level with the paper's unsupervised L2 methodology, and
+prints accuracy vs. bandwidth-saving per level, plus the Figure-4 ASCII
+distortion strip.
+
+Run:  python examples/privacy_tradeoff.py  [--samples-per-class 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import (
+    CnnConfig,
+    DistillationConfig,
+    DriverFrameCNN,
+    PrivacyLevel,
+    train_privacy_suite,
+)
+from repro.datasets import generate_alternative_dataset
+from repro.experiments import ascii_frame, run_fig4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples-per-class", type=int, default=20)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--distill-epochs", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    print("Generating the 18-class alternative dataset (10 drivers)...")
+    dataset = generate_alternative_dataset(args.samples_per_class, rng=rng)
+    train, evaluation = dataset.train_eval_split(rng=rng)
+    print(f"  train={len(train)}  eval={len(evaluation)}")
+
+    print("Training the teacher CNN on clean frames...")
+    teacher = DriverFrameCNN(CnnConfig(num_classes=18, epochs=args.epochs),
+                             rng=rng)
+    teacher.fit(train.images, train.labels, verbose=True)
+    teacher_top1 = teacher.evaluate(evaluation.images, evaluation.labels)
+
+    print("\nDistilling one dCNN per privacy level (unsupervised: the "
+          "student\nmimics the teacher's outputs on distorted frames, "
+          "L2 loss, SGD)...")
+    suite = train_privacy_suite(
+        teacher, train.images,
+        config=DistillationConfig(epochs=args.distill_epochs), rng=rng)
+
+    print(f"\n{'model':<8} {'input px':>9} {'data saved':>11} {'Top-1':>8}")
+    print(f"{'CNN':<8} {'64x64':>9} {'1.0x':>11} {teacher_top1 * 100:7.2f}%")
+    for level in PrivacyLevel:
+        student = suite[level]
+        top1 = student.evaluate(evaluation.images, evaluation.labels)
+        edge = level.target_edge(64)
+        print(f"{level.model_name:<8} {f'{edge}x{edge}':>9} "
+              f"{level.data_reduction(64):>10.1f}x {top1 * 100:7.2f}%")
+
+    print("\nWhat the server actually sees (Figure 4):")
+    strip = run_fig4(seed=args.seed)
+    for name in ("full", "low", "medium", "high"):
+        edge = strip.edges[name]
+        print(f"\n--- {name} ({edge}x{edge} px) ---")
+        print(ascii_frame(strip.frames[name]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The data-collection framework end to end.
+
+Runs a scripted collection drive (paper §5.1: the passenger instructs the
+driver to perform 15-second distractions) through the full middleware
+stack — collection agents with drifting clocks, lossy Bluetooth-style
+channels, the master–slave clock-sync protocol, and the centralized
+controller's interpolation/smoothing — then inspects the aligned output
+and the time-series database.
+
+Run:  python examples/streaming_collection.py  [--loss 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import DriveScript, run_collection_drive
+from repro.datasets import DrivingBehavior
+from repro.streaming import SessionConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loss", type=float, default=0.0,
+                        help="channel drop probability")
+    parser.add_argument("--segment-seconds", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    script = DriveScript.standard(
+        [DrivingBehavior.NORMAL, DrivingBehavior.TALKING,
+         DrivingBehavior.TEXTING, DrivingBehavior.REACHING],
+        segment_seconds=args.segment_seconds)
+    print(f"Drive script: {len(script.segments)} segments, "
+          f"{script.duration:.0f} s total")
+    for start, end, behavior in script.segments:
+        print(f"  {start:6.1f}–{end:6.1f} s : {behavior.display_name}")
+
+    config = SessionConfig(channel_drop=args.loss)
+    result = run_collection_drive(script, config=config,
+                                  rng=np.random.default_rng(args.seed))
+
+    controller = result.controller
+    print("\nController ingest:")
+    print(f"  IMU readings: {controller.readings_received}")
+    print(f"  camera frames: {controller.frames_received}")
+    print(f"  aligned 4 Hz grid steps: {result.grid.shape[0]}")
+    print(f"  aligned IMU matrix: {result.imu.shape} "
+          f"(accelerometer+gyroscope+gravity+rotation)")
+
+    print("\nClock synchronization (5 s master–slave protocol):")
+    for agent_id, error in controller.sync_report().items():
+        print(f"  {agent_id:<8} worst residual error: {error * 1e3:6.2f} ms")
+
+    print("\nChannel statistics:")
+    for agent_id in controller.agent_ids:
+        stats = controller._agents[agent_id].uplink.stats
+        print(f"  {agent_id:<8} sent={stats.sent:4d} "
+              f"delivered={stats.delivered:4d} dropped={stats.dropped:3d} "
+              f"mean latency={stats.mean_latency() * 1e3:5.2f} ms")
+
+    print("\nTime-series database:")
+    for series in result.tsdb.series_names():
+        print(f"  {series:<22} {result.tsdb.count(series):5d} points")
+    # A statsd-style bucketed aggregate over the accelerometer stream.
+    starts, means = result.tsdb.aggregate("phone/accelerometer", bucket=5.0,
+                                          statistic="mean")
+    print("\nAccelerometer 5 s bucket means (x, y, z):")
+    for start, mean in zip(starts, means):
+        print(f"  t={start:6.1f}s  "
+              + "  ".join(f"{v:+6.2f}" for v in mean))
+
+    labelled = result.imu_labels[result.imu_labels >= 0]
+    print(f"\nGround-truth labels on the grid: "
+          f"{dict(zip(*np.unique(labelled, return_counts=True)))}")
+
+
+if __name__ == "__main__":
+    main()

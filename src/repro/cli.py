@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands mirror the system's lifecycle:
+
+* ``collect``   — run scripted collection drives and save the data.
+* ``train``     — train an ensemble and save it with the model store.
+* ``evaluate``  — evaluate a saved ensemble on fresh synthetic data.
+* ``reproduce`` — run a paper table/figure experiment and print the
+  paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.core import DriveScript, run_collection_drive
+    from repro.streaming.persistence import save_tsdb
+
+    script = DriveScript.standard(segment_seconds=args.segment_seconds)
+    print(f"Running {args.drives} scripted drive(s) "
+          f"({script.duration:.0f} s each)...")
+    total_readings = 0
+    for index in range(args.drives):
+        result = run_collection_drive(
+            script, driver_id=index,
+            rng=np.random.default_rng(args.seed + index))
+        path = f"{args.output}/drive_{index:02d}.npz"
+        save_tsdb(result.tsdb, path)
+        total_readings += result.controller.readings_received
+        print(f"  drive {index}: "
+              f"{result.controller.readings_received} readings, "
+              f"{result.controller.frames_received} frames -> {path}")
+    print(f"Collected {total_readings} readings total.")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import CnnConfig, DarNetEnsemble, RnnConfig, save_ensemble
+    from repro.datasets import generate_driving_dataset
+
+    rng = np.random.default_rng(args.seed)
+    print(f"Generating {args.samples} paired samples...")
+    dataset = generate_driving_dataset(args.samples, rng=rng)
+    train, evaluation = dataset.train_eval_split(rng=rng)
+    ensemble = DarNetEnsemble(
+        args.architecture, cnn_config=CnnConfig(epochs=args.epochs),
+        rnn_config=RnnConfig(epochs=2 * args.epochs), rng=rng)
+    print(f"Training {args.architecture}...")
+    ensemble.fit(train, verbose=args.verbose)
+    result = ensemble.evaluate(evaluation)
+    print(f"Top-1 on held-out data: {result.top1 * 100:.2f}%")
+    save_ensemble(ensemble, args.output)
+    print(f"Saved to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core import load_ensemble
+    from repro.datasets import behavior_names, generate_driving_dataset
+    from repro.nn.metrics import format_confusion
+
+    print(f"Loading ensemble from {args.model}...")
+    ensemble = load_ensemble(args.model)
+    rng = np.random.default_rng(args.seed)
+    dataset = generate_driving_dataset(args.samples, rng=rng)
+    result = ensemble.evaluate(dataset)
+    print(f"Architecture: {result.architecture}")
+    print(f"Top-1: {result.top1 * 100:.2f}%")
+    if result.imu_top1 is not None:
+        print(f"IMU-only Top-1: {result.imu_top1 * 100:.2f}%")
+    print(format_confusion(result.confusion, behavior_names()))
+    return 0
+
+
+_EXPERIMENTS = ("table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5")
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    scale = exp.get_scale(args.scale)
+    name = args.experiment
+    print(f"Reproducing {name} at scale {scale.name!r}...")
+    if name == "table1":
+        print(exp.format_table1(exp.run_table1(scale, seed=args.seed)))
+    elif name == "table2":
+        print(exp.format_table2(exp.run_table2(scale, seed=args.seed)))
+    elif name == "fig5":
+        print(exp.format_fig5(exp.run_table2(scale, seed=args.seed)))
+    elif name == "table3":
+        print(exp.format_table3(exp.run_table3(scale, seed=args.seed)))
+    elif name == "fig2":
+        result = exp.run_fig2(seed=args.seed)
+        print(f"readings={result.readings_received} "
+              f"frames={result.frames_received} "
+              f"clock_err={result.worst_clock_error * 1e3:.1f}ms "
+              f"delivery={result.delivery_ratio:.3f}")
+    elif name == "fig3":
+        result = exp.run_fig3()
+        for level, factor in result.reduction.items():
+            print(f"{level}: {result.bytes_per_frame[level]} bytes "
+                  f"({factor:.1f}x reduction)")
+    elif name == "fig4":
+        result = exp.run_fig4(seed=args.seed)
+        for level, frame in result.frames.items():
+            print(f"--- {level} ({result.edges[level]}px) ---")
+            print(exp.ascii_frame(frame))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DarNet reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    collect = sub.add_parser("collect", help="run collection drives")
+    collect.add_argument("--drives", type=int, default=1)
+    collect.add_argument("--segment-seconds", type=float, default=10.0)
+    collect.add_argument("--output", default="collected")
+    collect.add_argument("--seed", type=int, default=0)
+    collect.set_defaults(func=_cmd_collect)
+
+    train = sub.add_parser("train", help="train and save an ensemble")
+    train.add_argument("--architecture", default="cnn+rnn",
+                       choices=["cnn+rnn", "cnn+svm", "cnn"])
+    train.add_argument("--samples", type=int, default=600)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--output", default="darnet_model")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--verbose", action="store_true")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved ensemble")
+    evaluate.add_argument("--model", default="darnet_model")
+    evaluate.add_argument("--samples", type=int, default=200)
+    evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    reproduce = sub.add_parser("reproduce",
+                               help="re-run a paper table/figure")
+    reproduce.add_argument("experiment", choices=_EXPERIMENTS)
+    reproduce.add_argument("--scale", default="smoke",
+                           choices=["smoke", "default", "full"])
+    reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Adversarial privacy evaluation (the paper's stated future work).
+
+"Future work is still required to determine how effective these
+distortion techniques are for preventing adversarial networks from
+performing classification tasks e.g. facial recognition." (paper §5.3)
+
+This module runs that experiment: an adversary trains a CNN to
+*re-identify the driver* from exactly the frames the server receives —
+i.e. after device-side distortion.  Privacy is quantified as the gap
+between the adversary's accuracy and the chance floor, per privacy level.
+A level protects identity if the adversary collapses toward chance while
+the behaviour dCNN (Table 3) keeps working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cnn import CnnConfig, DriverFrameCNN
+from repro.core.privacy import PrivacyLevel, distort_restore
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class AdversaryResult:
+    """Driver re-identification accuracy at one distortion level."""
+
+    level: PrivacyLevel | None
+    accuracy: float
+    chance: float
+
+    @property
+    def privacy_margin(self) -> float:
+        """How close the adversary is pushed to chance (1 = fully private).
+
+        Defined as ``1 - (accuracy - chance) / (1 - chance)`` clipped to
+        [0, 1]; 0 means the adversary identifies drivers as well as on
+        clean frames of a perfectly separable population.
+        """
+        leak = (self.accuracy - self.chance) / max(1.0 - self.chance, 1e-9)
+        return float(np.clip(1.0 - leak, 0.0, 1.0))
+
+
+class DriverIdentificationAdversary:
+    """An adversary that learns to identify drivers from (distorted) frames.
+
+    The adversary is given the strongest realistic position: it trains
+    directly on distorted frames with true driver labels (e.g. it joined
+    the data-collection study), so its accuracy upper-bounds what a
+    weaker, transfer-based attacker could achieve.
+
+    Args:
+        num_drivers: identity-class count.
+        level: the distortion level the defender selected (``None`` =
+            clean frames — the no-privacy baseline).
+        config: CNN hyper-parameters for the attack model.
+        rng: randomness source.
+    """
+
+    def __init__(self, num_drivers: int, level: PrivacyLevel | None, *,
+                 config: CnnConfig | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if num_drivers < 2:
+            raise ConfigurationError("need >= 2 drivers to identify")
+        self.num_drivers = int(num_drivers)
+        self.level = level
+        self.rng = rng or np.random.default_rng()
+        base = config or CnnConfig()
+        self.config = CnnConfig(
+            num_classes=self.num_drivers, in_channels=base.in_channels,
+            image_size=base.image_size, width=base.width,
+            dropout=base.dropout, learning_rate=base.learning_rate,
+            batch_size=base.batch_size, epochs=base.epochs,
+            pretrain_epochs=base.pretrain_epochs,
+            pretrain_samples_per_class=base.pretrain_samples_per_class,
+            label_smoothing=base.label_smoothing,
+        )
+        self.model = DriverFrameCNN(self.config, rng=self.rng)
+
+    def _observed(self, images: np.ndarray) -> np.ndarray:
+        """What the adversary sees: the server-side restored frames."""
+        return distort_restore(np.asarray(images, dtype=np.float32),
+                               self.level)
+
+    def fit(self, images: np.ndarray, driver_ids: np.ndarray, *,
+            verbose: bool = False) -> None:
+        """Train the attack model on distorted frames + identity labels."""
+        self.model.fit(self._observed(images),
+                       np.asarray(driver_ids, dtype=np.int64),
+                       verbose=verbose)
+
+    def evaluate(self, images: np.ndarray,
+                 driver_ids: np.ndarray) -> AdversaryResult:
+        """Re-identification accuracy on held-out frames."""
+        driver_ids = np.asarray(driver_ids, dtype=np.int64)
+        accuracy = self.model.evaluate(self._observed(images), driver_ids)
+        counts = np.bincount(driver_ids, minlength=self.num_drivers)
+        chance = float(counts.max() / max(counts.sum(), 1))
+        return AdversaryResult(level=self.level, accuracy=accuracy,
+                               chance=chance)
+
+
+def run_privacy_adversary_study(images: np.ndarray, driver_ids: np.ndarray,
+                                *, train_fraction: float = 0.8,
+                                config: CnnConfig | None = None,
+                                levels=(None, *PrivacyLevel),
+                                rng: np.random.Generator | None = None,
+                                verbose: bool = False
+                                ) -> dict[str, AdversaryResult]:
+    """Train one adversary per distortion level; return per-level results.
+
+    Args:
+        images: NCHW clean frames (distortion is applied per level).
+        driver_ids: identity labels aligned with ``images``.
+        train_fraction: attacker's train/eval partition.
+        config: attack-model hyper-parameters.
+        levels: distortion levels to study (``None`` = clean baseline).
+        rng: randomness source.
+    """
+    rng = rng or np.random.default_rng()
+    driver_ids = np.asarray(driver_ids, dtype=np.int64)
+    num_drivers = int(driver_ids.max()) + 1
+    order = rng.permutation(len(driver_ids))
+    cut = int(round(len(order) * train_fraction))
+    train_idx, eval_idx = order[:cut], order[cut:]
+    results: dict[str, AdversaryResult] = {}
+    for level in levels:
+        name = "clean" if level is None else level.value
+        adversary = DriverIdentificationAdversary(
+            num_drivers, level, config=config,
+            rng=np.random.default_rng(int(rng.integers(1 << 31))))
+        adversary.fit(images[train_idx], driver_ids[train_idx],
+                      verbose=verbose)
+        results[name] = adversary.evaluate(images[eval_idx],
+                                           driver_ids[eval_idx])
+    return results

@@ -1,0 +1,166 @@
+"""Real-time alerting and fleet monitoring.
+
+The paper motivates detection with "providing real-time alerts to drivers
+and fleet managers" (§1).  This module turns DarNet's per-timestep
+verdict stream into debounced alerts and fleet-level statistics:
+
+* :class:`AlertPolicy` / :class:`DistractionAlerter` — raise an alert
+  after N consecutive distracted verdicts above a confidence threshold
+  (debouncing the classifier's per-frame noise), close it after M
+  consecutive normal verdicts.
+* :class:`FleetMonitor` — aggregate per-driver distraction exposure, the
+  metric an insurer (the paper cites Progressive Snapshot) would price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.darnet import TimestepClassification
+from repro.datasets.classes import DrivingBehavior
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AlertPolicy:
+    """Debouncing rules for raising/clearing a distraction alert."""
+
+    consecutive_to_raise: int = 4      # 1 s at the 4 Hz verdict rate
+    consecutive_to_clear: int = 8      # 2 s of normal driving to clear
+    min_confidence: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.consecutive_to_raise < 1 or self.consecutive_to_clear < 1:
+            raise ConfigurationError("consecutive counts must be >= 1")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ConfigurationError("min_confidence must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One raised distraction episode."""
+
+    start_time: float
+    end_time: float | None
+    behavior: DrivingBehavior
+
+    @property
+    def duration(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+class DistractionAlerter:
+    """Streaming alert state machine over per-timestep verdicts."""
+
+    def __init__(self, policy: AlertPolicy | None = None) -> None:
+        self.policy = policy or AlertPolicy()
+        self.alerts: list[Alert] = []
+        self._distracted_run: list[TimestepClassification] = []
+        self._normal_run = 0
+        self._active: Alert | None = None
+
+    @property
+    def active_alert(self) -> Alert | None:
+        """The currently open alert, if any."""
+        return self._active
+
+    def observe(self, verdict: TimestepClassification) -> Alert | None:
+        """Feed one verdict; returns a *newly raised* alert or ``None``."""
+        policy = self.policy
+        confidence = float(verdict.probabilities.max())
+        distracted = (verdict.predicted != DrivingBehavior.NORMAL
+                      and confidence >= policy.min_confidence)
+        raised = None
+        if distracted:
+            self._normal_run = 0
+            self._distracted_run.append(verdict)
+            if (self._active is None
+                    and len(self._distracted_run) >= policy.consecutive_to_raise):
+                first = self._distracted_run[0]
+                behaviors = [v.predicted for v in self._distracted_run]
+                values, counts = np.unique(
+                    [int(b) for b in behaviors], return_counts=True)
+                majority = DrivingBehavior(int(values[np.argmax(counts)]))
+                self._active = Alert(start_time=first.timestamp,
+                                     end_time=None, behavior=majority)
+                raised = self._active
+        else:
+            self._distracted_run.clear()
+            self._normal_run += 1
+            if (self._active is not None
+                    and self._normal_run >= policy.consecutive_to_clear):
+                closed = Alert(start_time=self._active.start_time,
+                               end_time=verdict.timestamp,
+                               behavior=self._active.behavior)
+                self.alerts.append(closed)
+                self._active = None
+        return raised
+
+    def finish(self, end_time: float | None = None) -> list[Alert]:
+        """Close any open alert and return the full alert history."""
+        if self._active is not None:
+            self.alerts.append(Alert(start_time=self._active.start_time,
+                                     end_time=end_time,
+                                     behavior=self._active.behavior))
+            self._active = None
+        return list(self.alerts)
+
+
+@dataclass
+class DriverReport:
+    """Fleet-level exposure statistics for one driver."""
+
+    driver_id: int
+    verdicts: int = 0
+    distracted_verdicts: int = 0
+    alerts: int = 0
+    alert_seconds: float = 0.0
+    by_behavior: dict = field(default_factory=dict)
+
+    @property
+    def distraction_rate(self) -> float:
+        if self.verdicts == 0:
+            return 0.0
+        return self.distracted_verdicts / self.verdicts
+
+
+class FleetMonitor:
+    """Aggregates alerting output across a fleet of drivers."""
+
+    def __init__(self, policy: AlertPolicy | None = None) -> None:
+        self.policy = policy or AlertPolicy()
+        self._reports: dict[int, DriverReport] = {}
+
+    def ingest_session(self, driver_id: int,
+                       verdicts: list[TimestepClassification]
+                       ) -> DriverReport:
+        """Process one driver session through the alerter and aggregate."""
+        report = self._reports.setdefault(driver_id,
+                                          DriverReport(driver_id))
+        alerter = DistractionAlerter(self.policy)
+        for verdict in verdicts:
+            alerter.observe(verdict)
+            report.verdicts += 1
+            if verdict.predicted != DrivingBehavior.NORMAL:
+                report.distracted_verdicts += 1
+                key = verdict.predicted.display_name
+                report.by_behavior[key] = report.by_behavior.get(key, 0) + 1
+        end = verdicts[-1].timestamp if verdicts else None
+        for alert in alerter.finish(end):
+            report.alerts += 1
+            if alert.duration is not None:
+                report.alert_seconds += alert.duration
+        return report
+
+    def report(self, driver_id: int) -> DriverReport:
+        """Per-driver report (raises KeyError for unknown drivers)."""
+        return self._reports[driver_id]
+
+    def ranking(self) -> list[DriverReport]:
+        """Drivers ordered by distraction rate, worst first."""
+        return sorted(self._reports.values(),
+                      key=lambda r: r.distraction_rate, reverse=True)

@@ -1,0 +1,174 @@
+"""Ensemble combiners, centered on the paper's Bayesian Network approach.
+
+"Because the RNN and CNN output probability distributions for a different
+set of classes, we implement a Bayesian Network to combine the outputs
+into a single inference.  Each class is assigned its own BN consisting of
+two parent nodes and a child node.  We compute the conditional probability
+tables (CPTs) for each class based on the number of true-positive
+observations from the training data presented to the system." (§4.2)
+
+Concretely: for behaviour class *c* the BN's parents are the CNN's verdict
+(6-way) and the IMU model's verdict (3-way), and the child is the event
+"true class is c".  The CPT entry ``P(c | cnn=i, imu=j)`` is estimated
+from training-set co-occurrence counts with Laplace smoothing.  At
+inference the parent verdicts are soft, so the child probability
+marginalizes the CPT over the joint parent distribution:
+
+    P(c) = sum_ij  P_cnn(i) * P_rnn(j) * CPT[i, j, c]
+
+Alternative combiners (averaging / product / max-confidence) are provided
+for the ablation benchmark, since the BN is the paper's stated novelty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.classes import (
+    NUM_BEHAVIOR_CLASSES,
+    NUM_IMU_CLASSES,
+    DrivingBehavior,
+    to_imu_class,
+)
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+
+
+def _check_probs(probs: np.ndarray, classes: int, name: str) -> np.ndarray:
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2 or probs.shape[1] != classes:
+        raise ShapeError(f"{name}: expected (n, {classes}), got {probs.shape}")
+    return probs
+
+
+class BayesianNetworkCombiner:
+    """Per-class Bayesian networks over the two model verdicts.
+
+    Args:
+        num_classes: behaviour-class count (CNN label space).
+        num_imu_classes: IMU-class count (RNN/SVM label space).
+        laplace: additive smoothing for CPT estimation — keeps parent
+            configurations never seen in training from zeroing a class.
+    """
+
+    def __init__(self, num_classes: int = NUM_BEHAVIOR_CLASSES,
+                 num_imu_classes: int = NUM_IMU_CLASSES, *,
+                 laplace: float = 1.0) -> None:
+        if laplace < 0:
+            raise ConfigurationError(f"laplace must be >= 0, got {laplace}")
+        self.num_classes = int(num_classes)
+        self.num_imu_classes = int(num_imu_classes)
+        self.laplace = float(laplace)
+        self._cpt: np.ndarray | None = None  # (cnn, imu, true)
+
+    def fit(self, cnn_predictions: np.ndarray, imu_predictions: np.ndarray,
+            true_labels: np.ndarray) -> "BayesianNetworkCombiner":
+        """Estimate CPTs from training-set verdict co-occurrences.
+
+        Args:
+            cnn_predictions: (n,) hard CNN verdicts on training data.
+            imu_predictions: (n,) hard IMU-model verdicts.
+            true_labels: (n,) ground-truth behaviour classes.
+        """
+        cnn_predictions = np.asarray(cnn_predictions, dtype=np.int64)
+        imu_predictions = np.asarray(imu_predictions, dtype=np.int64)
+        true_labels = np.asarray(true_labels, dtype=np.int64)
+        if not (cnn_predictions.shape == imu_predictions.shape
+                == true_labels.shape):
+            raise ShapeError("prediction/label arrays must share shape")
+        counts = np.zeros(
+            (self.num_classes, self.num_imu_classes, self.num_classes))
+        np.add.at(counts, (cnn_predictions, imu_predictions, true_labels), 1.0)
+        counts += self.laplace
+        self._cpt = counts / counts.sum(axis=2, keepdims=True)
+        return self
+
+    @property
+    def cpt(self) -> np.ndarray:
+        """The (cnn, imu, true) conditional probability tensor."""
+        if self._cpt is None:
+            raise NotFittedError("combiner used before fit()")
+        return self._cpt
+
+    def predict_proba(self, cnn_probs: np.ndarray,
+                      imu_probs: np.ndarray) -> np.ndarray:
+        """Combined behaviour-class distribution per sample."""
+        cnn_probs = _check_probs(cnn_probs, self.num_classes, "cnn_probs")
+        imu_probs = _check_probs(imu_probs, self.num_imu_classes, "imu_probs")
+        if cnn_probs.shape[0] != imu_probs.shape[0]:
+            raise ShapeError("cnn/imu batches differ in length")
+        combined = np.einsum("ni,nj,ijc->nc", cnn_probs, imu_probs, self.cpt)
+        totals = combined.sum(axis=1, keepdims=True)
+        return combined / np.maximum(totals, 1e-12)
+
+    def predict(self, cnn_probs: np.ndarray,
+                imu_probs: np.ndarray) -> np.ndarray:
+        """Hard combined verdicts."""
+        return self.predict_proba(cnn_probs, imu_probs).argmax(axis=1)
+
+
+def expand_imu_probs(imu_probs: np.ndarray,
+                     num_classes: int = NUM_BEHAVIOR_CLASSES) -> np.ndarray:
+    """Lift a 3-way IMU distribution into the 6-way behaviour space.
+
+    Probability mass of each IMU class is split uniformly among the
+    behaviour classes that map to it (normal -> the four non-phone
+    classes).  Used by the non-BN baseline combiners, which need both
+    modalities in one label space.
+    """
+    imu_probs = _check_probs(imu_probs, NUM_IMU_CLASSES, "imu_probs")
+    groups: dict[int, list[int]] = {}
+    for behavior in range(num_classes):
+        imu_class = int(to_imu_class(DrivingBehavior(behavior)))
+        groups.setdefault(imu_class, []).append(behavior)
+    expanded = np.zeros((imu_probs.shape[0], num_classes))
+    for imu_class, members in groups.items():
+        share = imu_probs[:, imu_class] / len(members)
+        for behavior in members:
+            expanded[:, behavior] = share
+    return expanded
+
+
+class AveragingCombiner:
+    """Uniform average of the two (expanded) distributions."""
+
+    def predict_proba(self, cnn_probs: np.ndarray,
+                      imu_probs: np.ndarray) -> np.ndarray:
+        cnn_probs = _check_probs(cnn_probs, cnn_probs.shape[1], "cnn_probs")
+        expanded = expand_imu_probs(imu_probs, cnn_probs.shape[1])
+        return (cnn_probs + expanded) / 2.0
+
+    def predict(self, cnn_probs: np.ndarray,
+                imu_probs: np.ndarray) -> np.ndarray:
+        return self.predict_proba(cnn_probs, imu_probs).argmax(axis=1)
+
+
+class ProductCombiner:
+    """Product-of-experts: multiply distributions and renormalize."""
+
+    def predict_proba(self, cnn_probs: np.ndarray,
+                      imu_probs: np.ndarray) -> np.ndarray:
+        cnn_probs = _check_probs(cnn_probs, cnn_probs.shape[1], "cnn_probs")
+        expanded = expand_imu_probs(imu_probs, cnn_probs.shape[1])
+        product = cnn_probs * (expanded + 1e-9)
+        return product / product.sum(axis=1, keepdims=True)
+
+    def predict(self, cnn_probs: np.ndarray,
+                imu_probs: np.ndarray) -> np.ndarray:
+        return self.predict_proba(cnn_probs, imu_probs).argmax(axis=1)
+
+
+class MaxConfidenceCombiner:
+    """Trust whichever modality is most confident per sample."""
+
+    def predict_proba(self, cnn_probs: np.ndarray,
+                      imu_probs: np.ndarray) -> np.ndarray:
+        cnn_probs = _check_probs(cnn_probs, cnn_probs.shape[1], "cnn_probs")
+        expanded = expand_imu_probs(imu_probs, cnn_probs.shape[1])
+        pick_imu = expanded.max(axis=1) > cnn_probs.max(axis=1)
+        out = cnn_probs.copy()
+        out[pick_imu] = expanded[pick_imu]
+        return out
+
+    def predict(self, cnn_probs: np.ndarray,
+                imu_probs: np.ndarray) -> np.ndarray:
+        return self.predict_proba(cnn_probs, imu_probs).argmax(axis=1)

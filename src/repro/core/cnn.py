@@ -1,0 +1,119 @@
+"""Frame-sequence classifier (the CNN half of DarNet's analytics engine).
+
+Wraps MicroInceptionV3 with the paper's training methodology: pretrain on a
+generic task (the ImageNet stand-in), swap the classifier head, fine-tune
+on driving frames (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.inception import build_micro_inception, replace_classifier
+from repro.datasets.classes import NUM_BEHAVIOR_CLASSES
+from repro.datasets.pretraining import (
+    SHAPE_CLASSES,
+    generate_pretraining_dataset,
+)
+from repro.nn import Adam, NeuralNetwork, SoftmaxCrossEntropy
+
+
+@dataclass
+class CnnConfig:
+    """Hyper-parameters for the frame classifier."""
+
+    num_classes: int = NUM_BEHAVIOR_CLASSES
+    in_channels: int = 1
+    image_size: int = 64
+    width: float = 1.0
+    dropout: float = 0.3
+    learning_rate: float = 2e-3
+    batch_size: int = 32
+    epochs: int = 18
+    pretrain_epochs: int = 4
+    pretrain_samples_per_class: int = 40
+    label_smoothing: float = 0.05
+
+
+class DriverFrameCNN:
+    """Per-frame driving-behaviour classifier.
+
+    Usage::
+
+        cnn = DriverFrameCNN(CnnConfig(), rng=rng)
+        cnn.pretrain()                  # generic-features init (optional)
+        cnn.fit(train_images, labels)   # fine-tune on driving frames
+        probs = cnn.predict_proba(eval_images)
+    """
+
+    def __init__(self, config: CnnConfig | None = None, *,
+                 rng: np.random.Generator | None = None) -> None:
+        self.config = config or CnnConfig()
+        self.rng = rng or np.random.default_rng()
+        self.network = build_micro_inception(
+            self.config.num_classes, in_channels=self.config.in_channels,
+            width=self.config.width, dropout=self.config.dropout,
+            rng=self.rng,
+        )
+        self.model = self._wrap(self.network)
+        self.pretrained = False
+
+    def _wrap(self, network) -> NeuralNetwork:
+        cfg = self.config
+        return NeuralNetwork(
+            network,
+            loss=SoftmaxCrossEntropy(label_smoothing=cfg.label_smoothing),
+            optimizer_factory=lambda params: Adam(params, cfg.learning_rate),
+        )
+
+    # -- training ----------------------------------------------------------
+    def pretrain(self, *, epochs: int | None = None,
+                 verbose: bool = False) -> None:
+        """Train on the generic-shapes task, then swap the classifier head.
+
+        Mirrors initializing Inception-V3 from the ILSVRC-2012 checkpoint
+        and replacing its final fully connected layer (paper §4.2).
+        """
+        cfg = self.config
+        epochs = cfg.pretrain_epochs if epochs is None else epochs
+        # Temporarily widen the head to the pretraining label space.
+        replace_classifier(self.network, len(SHAPE_CLASSES), rng=self.rng)
+        images, labels = generate_pretraining_dataset(
+            cfg.pretrain_samples_per_class, size=cfg.image_size, rng=self.rng)
+        pretrain_model = self._wrap(self.network)
+        pretrain_model.fit(images, labels, epochs=epochs,
+                           batch_size=cfg.batch_size, rng=self.rng,
+                           verbose=verbose)
+        replace_classifier(self.network, cfg.num_classes, rng=self.rng)
+        self.model = self._wrap(self.network)
+        self.pretrained = True
+
+    def fit(self, images: np.ndarray, labels: np.ndarray, *,
+            epochs: int | None = None,
+            validation: tuple[np.ndarray, np.ndarray] | None = None,
+            verbose: bool = False) -> None:
+        """Fine-tune (or train from scratch) on driving frames."""
+        cfg = self.config
+        self.model.fit(images, labels,
+                       epochs=cfg.epochs if epochs is None else epochs,
+                       batch_size=cfg.batch_size, rng=self.rng,
+                       validation=validation, verbose=verbose)
+
+    # -- inference ---------------------------------------------------------
+    def predict_logits(self, images: np.ndarray) -> np.ndarray:
+        """Raw pre-softmax outputs (the distillation teacher signal)."""
+        return self.model.predict_logits(images)
+
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        """Per-class probability distribution for each frame."""
+        return self.model.predict_proba(images)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.model.predict(images)
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 classification percentage on labelled frames."""
+        return self.model.evaluate(images, labels)

@@ -1,0 +1,231 @@
+"""The complete DarNet system: collection framework + analytics engine.
+
+Ties both halves of the paper together: scripted collection drives run
+through the streaming simulation produce aligned multimodal data; the
+trained ensemble classifies "at each time-step from the data, making it
+amenable to near real-time detection" (§1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ensemble import DarNetEnsemble
+from repro.core.privacy import DistortionModule, PrivacyLevel
+from repro.datasets.classes import DrivingBehavior
+from repro.datasets.dataset import DrivingDataset
+from repro.datasets.image_synth import DriverAppearance, SceneRenderer
+from repro.datasets.imu_synth import (
+    DEFAULT_WINDOW_STEPS,
+    DriverProfile,
+    ImuTraceGenerator,
+)
+from repro.datasets.windows import windows_from_stream
+from repro.exceptions import ConfigurationError
+from repro.streaming.agent import scripted_labeller
+from repro.streaming.pipeline import (
+    CollectionSession,
+    SessionConfig,
+    SessionResult,
+)
+
+
+@dataclass
+class DriveScript:
+    """A scripted collection drive: timed distraction segments.
+
+    The paper's drivers performed scripted 15-second distractions, ten
+    repetitions each (§5.1).
+    """
+
+    segments: list[tuple[float, float, DrivingBehavior]]
+
+    @property
+    def duration(self) -> float:
+        if not self.segments:
+            return 0.0
+        return max(end for _, end, _ in self.segments)
+
+    @classmethod
+    def standard(cls, behaviors: list[DrivingBehavior] | None = None, *,
+                 segment_seconds: float = 15.0, repetitions: int = 1,
+                 gap_seconds: float = 2.0) -> "DriveScript":
+        """The paper-style script: each behaviour for 15 s, repeated."""
+        behaviors = behaviors or list(DrivingBehavior)
+        segments: list[tuple[float, float, DrivingBehavior]] = []
+        t = 0.0
+        for _ in range(repetitions):
+            for behavior in behaviors:
+                segments.append((t, t + segment_seconds, behavior))
+                t += segment_seconds + gap_seconds
+        return cls(segments)
+
+
+def run_collection_drive(script: DriveScript, *, driver_id: int = 0,
+                         config: SessionConfig | None = None,
+                         privacy: PrivacyLevel | None = None,
+                         rng: np.random.Generator | None = None
+                         ) -> SessionResult:
+    """Execute one scripted drive through the full streaming stack.
+
+    A per-segment :class:`ImuTraceGenerator` provides the phone's physical
+    signal; the scene renderer provides dashcam frames; both are labelled
+    by the drive script.  An optional privacy level plugs the distortion
+    module into the controller's frame path.
+    """
+    if not script.segments:
+        raise ConfigurationError("drive script has no segments")
+    rng = rng or np.random.default_rng()
+    profile = DriverProfile.sample(driver_id, rng)
+    appearance = DriverAppearance.sample(driver_id, rng)
+    renderer = SceneRenderer(appearance)
+    episodes = {
+        index: ImuTraceGenerator(behavior, profile, rng=rng)
+        for index, (_, _, behavior) in enumerate(script.segments)
+    }
+    idle = ImuTraceGenerator(DrivingBehavior.NORMAL, profile, rng=rng)
+
+    def segment_at(t: float) -> int | None:
+        for index, (start, end, _) in enumerate(script.segments):
+            if start <= t < end:
+                return index
+        return None
+
+    def imu_signal(sensor: str, t: float) -> np.ndarray:
+        index = segment_at(t)
+        generator = idle if index is None else episodes[index]
+        return generator.sample(sensor, t)
+
+    def behavior_at(t: float) -> int:
+        index = segment_at(t)
+        if index is None:
+            return int(DrivingBehavior.NORMAL)
+        return int(script.segments[index][2])
+
+    frame_fn = renderer.frame_fn(behavior_at, rng=rng)
+    labeller = scripted_labeller(
+        [(start, end, int(behavior))
+         for start, end, behavior in script.segments])
+    frame_transform = None
+    if privacy is not None:
+        frame_transform = DistortionModule(privacy).distort_frame
+    session = CollectionSession(imu_signal, frame_fn, labeller,
+                                config=config, rng=rng,
+                                frame_transform=frame_transform)
+    return session.run(script.duration + 1.0)
+
+
+def dataset_from_drives(results: list[SessionResult], *,
+                        window_steps: int = DEFAULT_WINDOW_STEPS,
+                        stride: int = 2) -> DrivingDataset:
+    """Build a training dataset from streamed collection drives.
+
+    This is how the paper's own dataset came to be: data flows through the
+    agents/controller pipeline (including interpolation and smoothing) and
+    is then windowed for the models, so the training distribution matches
+    what the deployed system sees at inference time.  Each window pairs
+    with the camera frame nearest its end instant.
+
+    Args:
+        results: finished collection sessions (one per drive).
+        window_steps: IMU window length.
+        stride: grid steps between consecutive windows (2 = 0.5 s overlap
+            spacing at the 4 Hz grid).
+    """
+    if not results:
+        raise ConfigurationError("no collection sessions supplied")
+    images: list[np.ndarray] = []
+    windows: list[np.ndarray] = []
+    labels: list[int] = []
+    drivers: list[int] = []
+    for driver_index, result in enumerate(results):
+        wins, marks = windows_from_stream(result.imu, result.imu_labels,
+                                          steps=window_steps, stride=stride,
+                                          drop_unlabelled=True)
+        if wins.shape[0] == 0:
+            continue
+        window_times = result.grid[window_steps - 1::stride][:wins.shape[0]]
+        frame_times = np.array([f.timestamp for f in result.frames])
+        frames = np.stack([np.asarray(f.image, dtype=np.float32)
+                           for f in result.frames])
+        if frames.ndim == 3:
+            frames = frames[:, None]
+        nearest = np.clip(np.searchsorted(frame_times, window_times),
+                          0, len(result.frames) - 1)
+        for i in range(wins.shape[0]):
+            images.append(frames[nearest[i]])
+            windows.append(wins[i])
+            labels.append(int(marks[i]))
+            drivers.append(driver_index)
+    if not labels:
+        raise ConfigurationError("collection sessions produced no windows")
+    return DrivingDataset(
+        images=np.stack(images),
+        imu=np.stack(windows),
+        labels=np.asarray(labels, dtype=np.int64),
+        drivers=np.asarray(drivers, dtype=np.int64),
+    )
+
+
+@dataclass
+class TimestepClassification:
+    """One near-real-time verdict."""
+
+    timestamp: float
+    predicted: DrivingBehavior
+    probabilities: np.ndarray
+    true_label: DrivingBehavior | None
+
+
+class DarNetSystem:
+    """End-to-end facade: classify streamed drives with a trained ensemble.
+
+    Args:
+        ensemble: a trained :class:`~repro.core.ensemble.DarNetEnsemble`.
+        window_steps: IMU window length for per-timestep verdicts.
+    """
+
+    def __init__(self, ensemble: DarNetEnsemble, *,
+                 window_steps: int = DEFAULT_WINDOW_STEPS) -> None:
+        self.ensemble = ensemble
+        self.window_steps = int(window_steps)
+
+    def classify_session(self, result: SessionResult
+                         ) -> list[TimestepClassification]:
+        """Per-timestep classification of a finished collection session.
+
+        Each verdict pairs the IMU window ending at grid step *t* with the
+        camera frame nearest to that instant.
+        """
+        windows, labels = windows_from_stream(result.imu, result.imu_labels,
+                                              steps=self.window_steps,
+                                              drop_unlabelled=False)
+        if windows.shape[0] == 0:
+            return []
+        window_times = result.grid[self.window_steps - 1:]
+        frame_times = np.array([frame.timestamp for frame in result.frames])
+        images = np.stack([np.asarray(frame.image, dtype=np.float32)
+                           for frame in result.frames])
+        if images.ndim == 3:
+            images = images[:, None]
+        nearest = np.searchsorted(frame_times, window_times)
+        nearest = np.clip(nearest, 0, len(result.frames) - 1)
+        batch = DrivingDataset(
+            images=images[nearest],
+            imu=windows,
+            labels=np.maximum(labels, 0),
+            drivers=np.zeros(windows.shape[0], dtype=np.int64),
+        )
+        probabilities = self.ensemble.predict_proba(batch)
+        verdicts = []
+        for i, t in enumerate(window_times):
+            true = None if labels[i] < 0 else DrivingBehavior(int(labels[i]))
+            verdicts.append(TimestepClassification(
+                timestamp=float(t),
+                predicted=DrivingBehavior(int(probabilities[i].argmax())),
+                probabilities=probabilities[i],
+                true_label=true,
+            ))
+        return verdicts

@@ -1,0 +1,145 @@
+"""Unsupervised dCNN distillation (the privacy-preserving analytics path).
+
+Training methodology (paper §4.3):
+
+1. Each image is passed through the original CNN *on the device* and the
+   final-layer output recorded — no clean image ever leaves the car.
+2. The image is downsampled and shipped with its distortion tag.
+3. The server pairs the distorted image with the recorded teacher output.
+4. The dCNN — same architecture, initialized from the trained CNN's
+   weights — is trained to reproduce the teacher output from the distorted
+   image, minimizing the L2 distance with stochastic gradient descent.
+
+The procedure is completely unsupervised: no ground-truth labels are used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cnn import DriverFrameCNN
+from repro.core.inception import build_micro_inception
+from repro.core.privacy import PrivacyLevel, distort_restore
+from repro.exceptions import ConfigurationError
+from repro.nn import SGD, MSELoss, NeuralNetwork
+from repro.nn.metrics import accuracy
+from repro.nn.serialization import copy_weights
+
+
+@dataclass
+class DistillationConfig:
+    """Hyper-parameters for dCNN training."""
+
+    epochs: int = 15
+    batch_size: int = 32
+    learning_rate: float = 0.01   # paper: plain SGD
+    momentum: float = 0.9
+    init_from_teacher: bool = True
+    #: Fresh Gaussian noise added to the distorted input every epoch.
+    #: "The motivation behind the training methodology stems from the
+    #: success exhibited by de-noising autoencoders" (§4.3) — denoising
+    #: training perturbs inputs while targets stay fixed, which is also
+    #: what lets the student generalize past its overfit teacher
+    #: (the Table-3 dCNN-L anomaly).
+    input_noise_std: float = 0.04
+
+
+class DenoisingCNN:
+    """A dCNN for one privacy level.
+
+    Args:
+        teacher: the trained full-resolution CNN being mimicked.
+        level: distortion level this student handles.
+        config: distillation hyper-parameters.
+        rng: randomness for training order (and init when not copying
+            teacher weights).
+    """
+
+    def __init__(self, teacher: DriverFrameCNN, level: PrivacyLevel, *,
+                 config: DistillationConfig | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.teacher = teacher
+        self.level = level
+        self.config = config or DistillationConfig()
+        self.rng = rng or np.random.default_rng()
+        teacher_cfg = teacher.config
+        self.network = build_micro_inception(
+            teacher_cfg.num_classes, in_channels=teacher_cfg.in_channels,
+            width=teacher_cfg.width, dropout=teacher_cfg.dropout,
+            rng=self.rng,
+        )
+        if self.config.init_from_teacher:
+            # "We reuse the Inception-V3 architecture and initialize the
+            # weights using the CNN trained on the driving dataset." (§4.3)
+            copy_weights(teacher.network, self.network)
+        cfg = self.config
+        self.model = NeuralNetwork(
+            self.network,
+            loss=MSELoss(),
+            optimizer_factory=lambda params: SGD(
+                params, cfg.learning_rate, momentum=cfg.momentum),
+        )
+
+    def distill(self, images: np.ndarray, *, epochs: int | None = None,
+                verbose: bool = False) -> None:
+        """Run the unsupervised distillation loop on unlabeled images.
+
+        Args:
+            images: clean NCHW frames (teacher targets are computed from
+                these *before* distortion, modelling the on-device step).
+            epochs: override the configured epoch count.
+            verbose: per-epoch loss logging.
+        """
+        if images.ndim != 4:
+            raise ConfigurationError(
+                f"expected NCHW images, got shape {images.shape}"
+            )
+        teacher_outputs = self.teacher.predict_logits(images)
+        distorted = distort_restore(images, self.level)
+        total_epochs = self.config.epochs if epochs is None else epochs
+        noise_std = self.config.input_noise_std
+        for _ in range(total_epochs):
+            inputs = distorted
+            if noise_std:
+                # Denoising-autoencoder style: fresh input perturbation
+                # each epoch, fixed teacher targets.
+                inputs = np.clip(
+                    distorted + self.rng.normal(
+                        0.0, noise_std, distorted.shape).astype(np.float32),
+                    0.0, 1.0)
+            self.model.fit(inputs, teacher_outputs, epochs=1,
+                           batch_size=self.config.batch_size, rng=self.rng,
+                           verbose=verbose)
+
+    # -- inference (server side, distorted input) ---------------------------
+    def predict_logits(self, clean_images: np.ndarray) -> np.ndarray:
+        """Student outputs on the distorted version of ``clean_images``."""
+        return self.model.predict_logits(distort_restore(clean_images,
+                                                         self.level))
+
+    def predict(self, clean_images: np.ndarray) -> np.ndarray:
+        """Hard predictions from distorted frames."""
+        return self.predict_logits(clean_images).argmax(axis=1)
+
+    def evaluate(self, clean_images: np.ndarray,
+                 labels: np.ndarray) -> float:
+        """Top-1 accuracy of the student on distorted frames."""
+        return accuracy(np.asarray(labels), self.predict(clean_images))
+
+
+def train_privacy_suite(teacher: DriverFrameCNN, images: np.ndarray, *,
+                        config: DistillationConfig | None = None,
+                        levels: tuple[PrivacyLevel, ...] = tuple(PrivacyLevel),
+                        rng: np.random.Generator | None = None,
+                        verbose: bool = False
+                        ) -> dict[PrivacyLevel, DenoisingCNN]:
+    """Distill one dCNN per privacy level (the three server-side models)."""
+    rng = rng or np.random.default_rng()
+    suite: dict[PrivacyLevel, DenoisingCNN] = {}
+    for level in levels:
+        student = DenoisingCNN(teacher, level, config=config, rng=rng)
+        student.distill(images, verbose=verbose)
+        suite[level] = student
+    return suite

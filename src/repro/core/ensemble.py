@@ -1,0 +1,190 @@
+"""The DarNet ensemble: CNN + IMU model + Bayesian-network combiner.
+
+Implements the three architectures of Table 2:
+
+* ``CNN+RNN`` — the full DarNet (frame CNN, bidirectional-LSTM IMU model,
+  BN combiner).
+* ``CNN+SVM`` — the ensemble ablation with a kernel SVM on window
+  statistics as the IMU model.
+* ``CNN``     — frames only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.bayesian import BayesianNetworkCombiner
+from repro.core.cnn import CnnConfig, DriverFrameCNN
+from repro.core.rnn import ImuSequenceRNN, RnnConfig
+from repro.datasets.classes import NUM_BEHAVIOR_CLASSES, NUM_IMU_CLASSES
+from repro.datasets.dataset import DrivingDataset
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.ml.features import FeatureScaler, extract_window_features
+from repro.ml.svm import MultiClassSVM
+from repro.nn.metrics import accuracy, confusion_matrix
+
+
+class SvmImuClassifier:
+    """SVM pipeline over IMU windows: features -> scaling -> OvR kernel SVM.
+
+    Presents the same ``fit`` / ``predict_proba`` surface as
+    :class:`~repro.core.rnn.ImuSequenceRNN`, so the ensemble can swap the
+    IMU model freely.
+    """
+
+    def __init__(self, *, c: float = 2.0, kernel: str = "rbf",
+                 gamma: float = 0.05, temperature: float = 0.3,
+                 rng: np.random.Generator | None = None) -> None:
+        self.scaler = FeatureScaler()
+        self.svm = MultiClassSVM(c, kernel, gamma=gamma,
+                                 temperature=temperature, rng=rng)
+        self._num_classes: int | None = None
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray, **_: object
+            ) -> None:
+        """Train on (n, steps, 12) windows with IMU-class labels."""
+        features = self.scaler.fit_transform(extract_window_features(windows))
+        labels = np.asarray(labels, dtype=np.int64)
+        self._num_classes = int(labels.max()) + 1
+        self.svm.fit(features, labels)
+
+    def _features(self, windows: np.ndarray) -> np.ndarray:
+        return self.scaler.transform(extract_window_features(windows))
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """IMU-class probabilities; columns cover the full label range."""
+        if self._num_classes is None:
+            raise NotFittedError("SvmImuClassifier used before fit()")
+        raw = self.svm.predict_proba(self._features(windows))
+        # Map the SVM's observed-class columns onto the full label range.
+        out = np.zeros((raw.shape[0], self._num_classes))
+        for column, class_value in enumerate(self.svm.classes_):
+            out[:, int(class_value)] = raw[:, column]
+        totals = out.sum(axis=1, keepdims=True)
+        return out / np.maximum(totals, 1e-12)
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Hard IMU-class predictions."""
+        return self.svm.predict(self._features(windows)).astype(np.int64)
+
+    def evaluate(self, windows: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy."""
+        return accuracy(np.asarray(labels), self.predict(windows))
+
+
+#: The three evaluation architectures of Table 2.
+ARCHITECTURES = ("cnn+rnn", "cnn+svm", "cnn")
+
+
+@dataclass
+class EnsembleResult:
+    """Evaluation output of one architecture run."""
+
+    architecture: str
+    top1: float
+    confusion: np.ndarray
+    probabilities: np.ndarray
+    predictions: np.ndarray
+    imu_top1: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+class DarNetEnsemble:
+    """End-to-end classifier over paired (frame, IMU-window) samples.
+
+    Args:
+        architecture: one of ``"cnn+rnn"``, ``"cnn+svm"``, ``"cnn"``.
+        cnn: a (possibly pre-trained) frame classifier to reuse; built
+            fresh from ``cnn_config`` when omitted.
+        cnn_config / rnn_config: hyper-parameters for freshly built models.
+        rng: randomness source.
+    """
+
+    def __init__(self, architecture: str = "cnn+rnn", *,
+                 cnn: DriverFrameCNN | None = None,
+                 cnn_config: CnnConfig | None = None,
+                 rnn_config: RnnConfig | None = None,
+                 combiner: BayesianNetworkCombiner | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if architecture not in ARCHITECTURES:
+            raise ConfigurationError(
+                f"unknown architecture {architecture!r}; "
+                f"choose from {ARCHITECTURES}"
+            )
+        self.architecture = architecture
+        self.rng = rng or np.random.default_rng()
+        self.cnn = cnn or DriverFrameCNN(cnn_config, rng=self.rng)
+        self.imu_model = None
+        if architecture == "cnn+rnn":
+            self.imu_model = ImuSequenceRNN(rnn_config, rng=self.rng)
+        elif architecture == "cnn+svm":
+            self.imu_model = SvmImuClassifier(rng=self.rng)
+        self.combiner = combiner or BayesianNetworkCombiner(
+            NUM_BEHAVIOR_CLASSES, NUM_IMU_CLASSES)
+        self._fitted = False
+
+    # -- training --------------------------------------------------------
+    def fit(self, train: DrivingDataset, *, pretrain_cnn: bool = False,
+            cnn_epochs: int | None = None, imu_epochs: int | None = None,
+            train_cnn: bool = True, verbose: bool = False) -> None:
+        """Train the member models, then calibrate the combiner.
+
+        CPTs are computed from the member models' verdicts on the training
+        set ("the number of true-positive observations from the training
+        data presented to the system", §4.2).
+
+        Args:
+            train: the paired training partition.
+            pretrain_cnn: run generic-shapes pretraining before fine-tune.
+            cnn_epochs / imu_epochs: override configured epoch counts.
+            train_cnn: skip CNN training when reusing an already-trained
+                frame model across architectures.
+            verbose: per-epoch logging.
+        """
+        if train_cnn:
+            if pretrain_cnn:
+                self.cnn.pretrain(verbose=verbose)
+            self.cnn.fit(train.images, train.labels, epochs=cnn_epochs,
+                         verbose=verbose)
+        if self.imu_model is not None:
+            self.imu_model.fit(train.imu, train.imu_labels,
+                               epochs=imu_epochs, verbose=verbose)
+            cnn_verdicts = self.cnn.predict(train.images)
+            imu_verdicts = self.imu_model.predict(train.imu)
+            self.combiner.fit(cnn_verdicts, imu_verdicts, train.labels)
+        self._fitted = True
+
+    # -- inference -------------------------------------------------------
+    def predict_proba(self, dataset: DrivingDataset) -> np.ndarray:
+        """Combined behaviour-class probabilities per sample."""
+        if not self._fitted:
+            raise NotFittedError("ensemble used before fit()")
+        cnn_probs = self.cnn.predict_proba(dataset.images)
+        if self.imu_model is None:
+            return cnn_probs
+        imu_probs = self.imu_model.predict_proba(dataset.imu)
+        return self.combiner.predict_proba(cnn_probs, imu_probs)
+
+    def predict(self, dataset: DrivingDataset) -> np.ndarray:
+        """Hard behaviour predictions."""
+        return self.predict_proba(dataset).argmax(axis=1)
+
+    def evaluate(self, dataset: DrivingDataset) -> EnsembleResult:
+        """Full evaluation: Top-1, confusion matrix, raw probabilities."""
+        probabilities = self.predict_proba(dataset)
+        predictions = probabilities.argmax(axis=1)
+        imu_top1 = None
+        if self.imu_model is not None:
+            imu_top1 = self.imu_model.evaluate(dataset.imu,
+                                               dataset.imu_labels)
+        return EnsembleResult(
+            architecture=self.architecture,
+            top1=accuracy(dataset.labels, predictions),
+            confusion=confusion_matrix(dataset.labels, predictions,
+                                       NUM_BEHAVIOR_CLASSES),
+            probabilities=probabilities,
+            predictions=predictions,
+            imu_top1=imu_top1,
+        )

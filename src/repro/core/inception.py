@@ -1,0 +1,174 @@
+"""MicroInceptionV3: a laptop-scale Inception-V3.
+
+The paper fine-tunes Inception-V3 (Szegedy et al., 2015) from the
+TensorFlow ILSVRC-2012 checkpoint.  We reproduce the architecture family —
+a convolutional stem, Inception modules with parallel 1x1 / 3x3 / double-3x3
+/ pooled branches (the 5x5 factorized into two 3x3s, as Inception-V3 does),
+factorized 1xN/Nx1 convolutions in later blocks, batch-norm after every
+convolution with no conv biases, and a global-average-pooled classifier —
+scaled down to train on a CPU in numpy.
+
+Layer widths are controlled by a single ``width`` multiplier so tests can
+build tiny instances and benchmarks larger ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ParallelBranches,
+    ReLU,
+    Sequential,
+)
+
+
+def conv_bn_relu(in_channels: int, out_channels: int, kernel, *,
+                 stride=1, padding="same", rng: np.random.Generator,
+                 name: str) -> Sequential:
+    """Inception's basic unit: bias-free conv, batch-norm, ReLU."""
+    return Sequential([
+        Conv2D(in_channels, out_channels, kernel, stride=stride,
+               padding=padding, use_bias=False, rng=rng, name=f"{name}.conv"),
+        BatchNorm(out_channels, name=f"{name}.bn"),
+        ReLU(name=f"{name}.relu"),
+    ], name=name)
+
+
+def _scaled(base: int, width: float) -> int:
+    return max(4, int(round(base * width)))
+
+
+def inception_a(in_channels: int, width: float, rng: np.random.Generator,
+                name: str) -> ParallelBranches:
+    """Inception-A: 1x1 / 3x3 / double-3x3 (factorized 5x5) / pooled 1x1."""
+    c1 = _scaled(16, width)
+    c3r, c3 = _scaled(12, width), _scaled(16, width)
+    d3r, d3 = _scaled(12, width), _scaled(16, width)
+    cp = _scaled(8, width)
+    return ParallelBranches([
+        conv_bn_relu(in_channels, c1, 1, rng=rng, name=f"{name}.b1x1"),
+        Sequential([
+            conv_bn_relu(in_channels, c3r, 1, rng=rng, name=f"{name}.b3.r"),
+            conv_bn_relu(c3r, c3, 3, rng=rng, name=f"{name}.b3.c"),
+        ]),
+        Sequential([
+            conv_bn_relu(in_channels, d3r, 1, rng=rng, name=f"{name}.d3.r"),
+            conv_bn_relu(d3r, d3, 3, rng=rng, name=f"{name}.d3.c1"),
+            conv_bn_relu(d3, d3, 3, rng=rng, name=f"{name}.d3.c2"),
+        ]),
+        Sequential([
+            AvgPool2D(3, stride=1, padding="same", name=f"{name}.pool"),
+            conv_bn_relu(in_channels, cp, 1, rng=rng, name=f"{name}.bp"),
+        ]),
+    ], name=name)
+
+
+def inception_a_channels(width: float) -> int:
+    """Output channel count of :func:`inception_a`."""
+    return (_scaled(16, width) + _scaled(16, width) + _scaled(16, width)
+            + _scaled(8, width))
+
+
+def inception_b(in_channels: int, width: float, rng: np.random.Generator,
+                name: str) -> ParallelBranches:
+    """Inception-B: factorized 1xN/Nx1 branches (N=3 at our resolution)."""
+    c1 = _scaled(24, width)
+    f_r, f_m, f_o = _scaled(16, width), _scaled(20, width), _scaled(24, width)
+    cp = _scaled(16, width)
+    return ParallelBranches([
+        conv_bn_relu(in_channels, c1, 1, rng=rng, name=f"{name}.b1x1"),
+        Sequential([
+            conv_bn_relu(in_channels, f_r, 1, rng=rng, name=f"{name}.f.r"),
+            conv_bn_relu(f_r, f_m, (1, 3), rng=rng, name=f"{name}.f.h"),
+            conv_bn_relu(f_m, f_o, (3, 1), rng=rng, name=f"{name}.f.v"),
+        ]),
+        Sequential([
+            AvgPool2D(3, stride=1, padding="same", name=f"{name}.pool"),
+            conv_bn_relu(in_channels, cp, 1, rng=rng, name=f"{name}.bp"),
+        ]),
+    ], name=name)
+
+
+def inception_b_channels(width: float) -> int:
+    """Output channel count of :func:`inception_b`."""
+    return _scaled(24, width) + _scaled(24, width) + _scaled(16, width)
+
+
+def build_micro_inception(num_classes: int, *, in_channels: int = 1,
+                          width: float = 1.0, dropout: float = 0.3,
+                          rng: np.random.Generator | None = None
+                          ) -> Sequential:
+    """Assemble the full MicroInceptionV3 classifier.
+
+    Input is NCHW with spatial size divisible by 8 (64x64 by default in
+    this repo).  The network is resolution-agnostic thanks to the global
+    average pool before the classifier.
+
+    Args:
+        num_classes: classifier output width.
+        in_channels: input channels (1 for grayscale frames).
+        width: channel multiplier for all internal layers.
+        dropout: pre-classifier dropout rate.
+        rng: initialization randomness.
+    """
+    if num_classes <= 1:
+        raise ConfigurationError(f"need >= 2 classes, got {num_classes}")
+    rng = rng or np.random.default_rng()
+    s1 = _scaled(12, width)
+    s2 = _scaled(16, width)
+    s3 = _scaled(24, width)
+    stem = [
+        conv_bn_relu(in_channels, s1, 3, stride=2, padding=1, rng=rng,
+                     name="stem.c1"),
+        conv_bn_relu(s1, s2, 3, rng=rng, name="stem.c2"),
+        MaxPool2D(2, name="stem.pool1"),
+        conv_bn_relu(s2, s3, 3, rng=rng, name="stem.c3"),
+        MaxPool2D(2, name="stem.pool2"),
+    ]
+    block_a = inception_a(s3, width, rng, "inception_a1")
+    ch_a = inception_a_channels(width)
+    block_a2 = inception_a(ch_a, width, rng, "inception_a2")
+    reduce_ch = _scaled(48, width)
+    reduction = conv_bn_relu(ch_a, reduce_ch, 3, stride=2, padding=1,
+                             rng=rng, name="reduction")
+    block_b = inception_b(reduce_ch, width, rng, "inception_b1")
+    ch_b = inception_b_channels(width)
+    head = [
+        GlobalAvgPool2D(name="head.gap"),
+        Dropout(dropout, rng=rng, name="head.dropout"),
+        Dense(ch_b, num_classes, weight_init="small_normal", rng=rng,
+              name="head.logits"),
+    ]
+    return Sequential(stem + [block_a, block_a2, reduction, block_b] + head,
+                      name="micro_inception_v3")
+
+
+def replace_classifier(network: Sequential, num_classes: int, *,
+                       rng: np.random.Generator | None = None) -> Sequential:
+    """Swap the final fully connected layer for a fresh ``num_classes`` head.
+
+    "We modify the final fully connected layer of this network, such that
+    the number of outputs corresponds to the number of driving classes."
+    (paper §4.2.)  All other weights are retained — the fine-tuning setup.
+    """
+    rng = rng or np.random.default_rng()
+    if not network.layers:
+        raise ConfigurationError("cannot replace classifier of an empty network")
+    last = network.layers[-1]
+    if not isinstance(last, Dense):
+        raise ConfigurationError(
+            f"expected final Dense classifier, found {type(last).__name__}"
+        )
+    network.layers[-1] = Dense(last.in_features, num_classes,
+                               weight_init="small_normal", rng=rng,
+                               name="head.logits")
+    return network

@@ -1,0 +1,159 @@
+"""Whole-system persistence: save and reload a trained DarNet ensemble.
+
+The paper commits to "making the software and learning models available
+to the general research community" (§1) — which requires trained models
+to survive a process restart.  A saved ensemble is a directory:
+
+    <dir>/manifest.json      architecture + hyper-parameters
+    <dir>/cnn.npz            frame-CNN weights (+ batch-norm stats)
+    <dir>/rnn.npz            IMU-RNN weights            (cnn+rnn only)
+    <dir>/rnn_stats.npz      window standardization stats
+    <dir>/svm.npz            SVM dual state + scaler     (cnn+svm only)
+    <dir>/combiner.npz       Bayesian-network CPT
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.core.bayesian import BayesianNetworkCombiner
+from repro.core.cnn import CnnConfig, DriverFrameCNN
+from repro.core.ensemble import DarNetEnsemble, SvmImuClassifier
+from repro.core.rnn import ImuSequenceRNN, RnnConfig
+from repro.exceptions import SerializationError
+from repro.ml.svm import BinarySVM
+from repro.nn.serialization import load_weights, save_weights
+
+_FORMAT_VERSION = 1
+
+
+def save_ensemble(ensemble: DarNetEnsemble, directory: str) -> None:
+    """Persist a trained ensemble into ``directory`` (created if needed)."""
+    if not ensemble._fitted:
+        raise SerializationError("cannot save an untrained ensemble")
+    os.makedirs(directory, exist_ok=True)
+    cnn_cfg = ensemble.cnn.config
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "architecture": ensemble.architecture,
+        "cnn_config": {
+            "num_classes": cnn_cfg.num_classes,
+            "in_channels": cnn_cfg.in_channels,
+            "image_size": cnn_cfg.image_size,
+            "width": cnn_cfg.width,
+            "dropout": cnn_cfg.dropout,
+        },
+    }
+    save_weights(ensemble.cnn.network, os.path.join(directory, "cnn.npz"))
+    if isinstance(ensemble.imu_model, ImuSequenceRNN):
+        rnn = ensemble.imu_model
+        manifest["rnn_config"] = {
+            "num_classes": rnn.config.num_classes,
+            "input_features": rnn.config.input_features,
+            "hidden_units": rnn.config.hidden_units,
+            "num_layers": rnn.config.num_layers,
+            "window_steps": rnn.config.window_steps,
+            "dropout": rnn.config.dropout,
+        }
+        save_weights(rnn.network, os.path.join(directory, "rnn.npz"))
+        mean, std = rnn._stats
+        np.savez(os.path.join(directory, "rnn_stats.npz"), mean=mean, std=std)
+    elif isinstance(ensemble.imu_model, SvmImuClassifier):
+        _save_svm(ensemble.imu_model, os.path.join(directory, "svm.npz"))
+    if ensemble.imu_model is not None:
+        np.savez(os.path.join(directory, "combiner.npz"),
+                 cpt=ensemble.combiner.cpt,
+                 laplace=np.array(ensemble.combiner.laplace))
+    with open(os.path.join(directory, "manifest.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def load_ensemble(directory: str, *,
+                  rng: np.random.Generator | None = None) -> DarNetEnsemble:
+    """Reload an ensemble saved by :func:`save_ensemble`, inference-ready."""
+    manifest_path = os.path.join(directory, "manifest.json")
+    if not os.path.exists(manifest_path):
+        raise SerializationError(f"no manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {manifest.get('format_version')}"
+        )
+    rng = rng or np.random.default_rng()
+    architecture = manifest["architecture"]
+    cnn = DriverFrameCNN(CnnConfig(**manifest["cnn_config"]), rng=rng)
+    load_weights(cnn.network, os.path.join(directory, "cnn.npz"))
+    cnn.model.mark_fitted()
+    rnn_config = None
+    if "rnn_config" in manifest:
+        rnn_config = RnnConfig(**manifest["rnn_config"])
+    ensemble = DarNetEnsemble(architecture, cnn=cnn, rnn_config=rnn_config,
+                              rng=rng)
+    if isinstance(ensemble.imu_model, ImuSequenceRNN):
+        rnn = ensemble.imu_model
+        load_weights(rnn.network, os.path.join(directory, "rnn.npz"))
+        rnn.model.mark_fitted()
+        with np.load(os.path.join(directory, "rnn_stats.npz")) as stats:
+            rnn._stats = (stats["mean"], stats["std"])
+    elif isinstance(ensemble.imu_model, SvmImuClassifier):
+        _load_svm(ensemble.imu_model, os.path.join(directory, "svm.npz"))
+    if ensemble.imu_model is not None:
+        with np.load(os.path.join(directory, "combiner.npz")) as data:
+            combiner = BayesianNetworkCombiner(
+                data["cpt"].shape[0], data["cpt"].shape[1],
+                laplace=float(data["laplace"]))
+            combiner._cpt = data["cpt"]
+        ensemble.combiner = combiner
+    ensemble._fitted = True
+    return ensemble
+
+
+def _save_svm(classifier: SvmImuClassifier, path: str) -> None:
+    machines = classifier.svm._machines
+    if machines is None:
+        raise SerializationError("SVM has not been trained")
+    arrays: dict[str, np.ndarray] = {
+        "classes": classifier.svm.classes_,
+        "num_classes": np.array(classifier._num_classes),
+        "c": np.array(classifier.svm.c),
+        "gamma": np.array(classifier.svm.gamma),
+        "temperature": np.array(classifier.svm.temperature),
+        "scaler_mean": classifier.scaler._mean,
+        "scaler_std": classifier.scaler._std,
+    }
+    for index, machine in enumerate(machines):
+        arrays[f"alpha_{index:02d}"] = machine._alpha
+        arrays[f"sv_x_{index:02d}"] = machine._x
+        arrays[f"sv_y_{index:02d}"] = machine._y
+        arrays[f"bias_{index:02d}"] = np.array(machine._bias)
+    np.savez(path, **arrays)
+
+
+def _load_svm(classifier: SvmImuClassifier, path: str) -> None:
+    if not os.path.exists(path):
+        raise SerializationError(f"SVM state not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        classifier._num_classes = int(data["num_classes"])
+        classifier.svm.c = float(data["c"])
+        classifier.svm.gamma = float(data["gamma"])
+        classifier.svm.temperature = float(data["temperature"])
+        classifier.scaler._mean = data["scaler_mean"]
+        classifier.scaler._std = data["scaler_std"]
+        classifier.svm._classes = data["classes"]
+        machines = []
+        index = 0
+        while f"alpha_{index:02d}" in data.files:
+            machine = BinarySVM(classifier.svm.c, "rbf",
+                                gamma=classifier.svm.gamma)
+            machine._alpha = data[f"alpha_{index:02d}"]
+            machine._x = data[f"sv_x_{index:02d}"]
+            machine._y = data[f"sv_y_{index:02d}"]
+            machine._bias = float(data[f"bias_{index:02d}"])
+            machines.append(machine)
+            index += 1
+        classifier.svm._machines = machines

@@ -1,0 +1,131 @@
+"""IMU-sequence classifier (the RNN half of DarNet's analytics engine).
+
+"The architecture for the RNN consists of 2 bidirectional LSTM cells
+containing 64 hidden units.  Because we use a sampling frequency of 4Hz
+and a time window of 5 seconds, the network is trained and evaluated on a
+sliding window of 20 data points." (paper §4.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.classes import NUM_IMU_CLASSES
+from repro.datasets.imu_synth import standardize_windows
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.nn import (
+    Adam,
+    BidirectionalLSTM,
+    Dense,
+    Dropout,
+    NeuralNetwork,
+    Sequential,
+    SoftmaxCrossEntropy,
+)
+
+
+@dataclass
+class RnnConfig:
+    """Hyper-parameters for the IMU classifier (paper defaults)."""
+
+    num_classes: int = NUM_IMU_CLASSES
+    input_features: int = 12
+    hidden_units: int = 64          # paper: 64 hidden units
+    num_layers: int = 2             # paper: 2 bidirectional LSTM cells
+    window_steps: int = 20          # paper: 4 Hz x 5 s
+    dropout: float = 0.2
+    learning_rate: float = 2e-3
+    batch_size: int = 32
+    epochs: int = 40
+    grad_clip: float = 5.0
+    cell: str = "lstm"              # "lstm" (paper) or "gru" (ablation)
+
+
+def build_imu_rnn(config: RnnConfig, *,
+                  rng: np.random.Generator | None = None) -> Sequential:
+    """Stacked bidirectional recurrent network with a softmax classifier.
+
+    The cell type follows ``config.cell``: the paper's bidirectional LSTM
+    by default, or a bidirectional GRU for the architecture ablation.
+    """
+    from repro.nn import BidirectionalGRU
+    rng = rng or np.random.default_rng()
+    if config.cell not in ("lstm", "gru"):
+        raise ConfigurationError(
+            f"unknown recurrent cell {config.cell!r}; use 'lstm' or 'gru'"
+        )
+    cell_cls = BidirectionalLSTM if config.cell == "lstm" else BidirectionalGRU
+    layers: list = []
+    in_features = config.input_features
+    for layer_index in range(config.num_layers):
+        last = layer_index == config.num_layers - 1
+        layers.append(cell_cls(
+            in_features, config.hidden_units, return_sequences=not last,
+            rng=rng, name=f"bi{config.cell}{layer_index + 1}",
+        ))
+        in_features = 2 * config.hidden_units
+    if config.dropout:
+        layers.append(Dropout(config.dropout, rng=rng, name="rnn.dropout"))
+    layers.append(Dense(in_features, config.num_classes,
+                        weight_init="small_normal", rng=rng,
+                        name="rnn.logits"))
+    return Sequential(layers, name="imu_bilstm")
+
+
+class ImuSequenceRNN:
+    """Deep bidirectional recurrent net over standardized IMU windows.
+
+    The paper's configuration (2 bidirectional LSTM cells, 64 units,
+    20-step windows) is the default; ``RnnConfig.cell`` switches to GRU.
+    Standardization statistics are learned from the training set and
+    applied consistently at inference.
+    """
+
+    def __init__(self, config: RnnConfig | None = None, *,
+                 rng: np.random.Generator | None = None) -> None:
+        self.config = config or RnnConfig()
+        self.rng = rng or np.random.default_rng()
+        self.network = build_imu_rnn(self.config, rng=self.rng)
+        cfg = self.config
+        self.model = NeuralNetwork(
+            self.network,
+            loss=SoftmaxCrossEntropy(),
+            optimizer_factory=lambda params: Adam(params, cfg.learning_rate),
+            grad_clip=cfg.grad_clip,
+        )
+        self._stats: tuple[np.ndarray, np.ndarray] | None = None
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray, *,
+            epochs: int | None = None,
+            validation: tuple[np.ndarray, np.ndarray] | None = None,
+            verbose: bool = False) -> None:
+        """Train on (n, steps, 12) windows with 3-way IMU labels."""
+        cfg = self.config
+        scaled, self._stats = standardize_windows(windows)
+        if validation is not None:
+            val_scaled, _ = standardize_windows(validation[0], self._stats)
+            validation = (val_scaled, validation[1])
+        self.model.fit(scaled, labels,
+                       epochs=cfg.epochs if epochs is None else epochs,
+                       batch_size=cfg.batch_size, rng=self.rng,
+                       validation=validation, verbose=verbose)
+
+    def _scale(self, windows: np.ndarray) -> np.ndarray:
+        if self._stats is None:
+            raise NotFittedError("ImuSequenceRNN used before fit()")
+        scaled, _ = standardize_windows(windows, self._stats)
+        return scaled
+
+    def predict_proba(self, windows: np.ndarray) -> np.ndarray:
+        """3-way probability distribution per window."""
+        return self.model.predict_proba(self._scale(windows))
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Hard IMU-class predictions."""
+        return self.model.predict(self._scale(windows))
+
+    def evaluate(self, windows: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on labelled windows."""
+        return self.model.evaluate(self._scale(windows), labels)

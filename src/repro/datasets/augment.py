@@ -1,0 +1,96 @@
+"""Image augmentation for driver frames.
+
+Standard augmentation for fixed-camera driver footage: brightness /
+contrast jitter (lighting changes), small translations (camera mount
+vibration), and additive noise.  Horizontal flips are deliberately
+excluded — the cabin has a fixed left/right geometry (wheel on the left),
+so a flipped frame is not a valid sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Augmentation strengths (all ranges are symmetric around identity)."""
+
+    brightness: float = 0.12      # additive, fraction of full scale
+    contrast: float = 0.15        # multiplicative around the frame mean
+    max_shift: int = 2            # translation in pixels, per axis
+    noise_std: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_shift < 0:
+            raise ConfigurationError("max_shift must be >= 0")
+        if min(self.brightness, self.contrast, self.noise_std) < 0:
+            raise ConfigurationError("augmentation strengths must be >= 0")
+
+
+def _shift(image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Translate with edge replication (the cabin fills the border)."""
+    shifted = np.roll(np.roll(image, dy, axis=-2), dx, axis=-1)
+    if dy > 0:
+        shifted[..., :dy, :] = shifted[..., dy:dy + 1, :]
+    elif dy < 0:
+        shifted[..., dy:, :] = shifted[..., dy - 1:dy, :]
+    if dx > 0:
+        shifted[..., :, :dx] = shifted[..., :, dx:dx + 1]
+    elif dx < 0:
+        shifted[..., :, dx:] = shifted[..., :, dx - 1:dx]
+    return shifted
+
+
+def augment_batch(images: np.ndarray, *,
+                  config: AugmentConfig | None = None,
+                  rng: np.random.Generator | None = None) -> np.ndarray:
+    """Return an augmented copy of an NCHW batch (values stay in [0, 1])."""
+    images = np.asarray(images, dtype=np.float32)
+    if images.ndim != 4:
+        raise ShapeError(f"expected NCHW images, got {images.shape}")
+    config = config or AugmentConfig()
+    rng = rng or np.random.default_rng()
+    out = images.copy()
+    n = images.shape[0]
+    brightness = rng.uniform(-config.brightness, config.brightness, n)
+    contrast = rng.uniform(1.0 - config.contrast, 1.0 + config.contrast, n)
+    for i in range(n):
+        frame = out[i]
+        mean = frame.mean()
+        frame = (frame - mean) * contrast[i] + mean + brightness[i]
+        if config.max_shift:
+            dy, dx = rng.integers(-config.max_shift, config.max_shift + 1, 2)
+            frame = _shift(frame, int(dy), int(dx))
+        if config.noise_std:
+            frame = frame + rng.normal(0.0, config.noise_std, frame.shape)
+        out[i] = frame
+    return np.clip(out, 0.0, 1.0)
+
+
+def augmented_copies(images: np.ndarray, labels: np.ndarray, copies: int, *,
+                     config: AugmentConfig | None = None,
+                     rng: np.random.Generator | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a training set with ``copies`` augmented passes.
+
+    Returns the originals plus ``copies`` augmented duplicates, shuffled.
+    """
+    if copies < 0:
+        raise ConfigurationError("copies must be >= 0")
+    rng = rng or np.random.default_rng()
+    images = np.asarray(images, dtype=np.float32)
+    labels = np.asarray(labels)
+    stacks = [images]
+    label_stacks = [labels]
+    for _ in range(copies):
+        stacks.append(augment_batch(images, config=config, rng=rng))
+        label_stacks.append(labels)
+    all_images = np.concatenate(stacks)
+    all_labels = np.concatenate(label_stacks)
+    order = rng.permutation(all_images.shape[0])
+    return all_images[order], all_labels[order]

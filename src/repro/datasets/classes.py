@@ -1,0 +1,113 @@
+"""Driver-behaviour taxonomy (paper Table 1).
+
+Six behaviour classes were collected with both an inward-facing camera and
+the driver's phone.  Classes 4–6 (eating/drinking, hair and makeup,
+reaching) "do not require cellphone use and thus are considered as 'Normal
+Driving' for the IMU sequence data" — so the IMU modality has only three
+effective classes, and the mapping between the two label spaces is a core
+part of the ensemble.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import ConfigurationError
+
+
+class DrivingBehavior(enum.IntEnum):
+    """The six behaviour classes of Table 1 (0-indexed; paper is 1-indexed)."""
+
+    NORMAL = 0
+    TALKING = 1
+    TEXTING = 2
+    EATING_DRINKING = 3
+    HAIR_MAKEUP = 4
+    REACHING = 5
+
+    @property
+    def paper_id(self) -> int:
+        """The 1-indexed class number used in the paper's tables."""
+        return int(self) + 1
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name matching Table 1."""
+        return _DISPLAY_NAMES[self]
+
+
+_DISPLAY_NAMES = {
+    DrivingBehavior.NORMAL: "Normal Driving",
+    DrivingBehavior.TALKING: "Talking",
+    DrivingBehavior.TEXTING: "Texting",
+    DrivingBehavior.EATING_DRINKING: "Eating/Drinking",
+    DrivingBehavior.HAIR_MAKEUP: "Hair and Makeup",
+    DrivingBehavior.REACHING: "Reaching",
+}
+
+#: Number of image-modality classes.
+NUM_BEHAVIOR_CLASSES = len(DrivingBehavior)
+
+#: Frame counts collected per class in the paper (Table 1).
+PAPER_FRAME_COUNTS = {
+    DrivingBehavior.NORMAL: 5_286,
+    DrivingBehavior.TALKING: 10_352,
+    DrivingBehavior.TEXTING: 9_422,
+    DrivingBehavior.EATING_DRINKING: 9_463,
+    DrivingBehavior.HAIR_MAKEUP: 4_848,
+    DrivingBehavior.REACHING: 17_709,
+}
+
+#: Classes for which real IMU data exists (phone in a distinctive pose).
+IMU_ACTIVE_BEHAVIORS = (DrivingBehavior.TALKING, DrivingBehavior.TEXTING)
+
+
+class ImuClass(enum.IntEnum):
+    """Label space of the IMU modality (paper §5.1 phone orientations)."""
+
+    NORMAL = 0
+    TALKING = 1
+    TEXTING = 2
+
+
+NUM_IMU_CLASSES = len(ImuClass)
+
+
+def to_imu_class(behavior: DrivingBehavior | int) -> ImuClass:
+    """Map a behaviour class to its IMU-modality label.
+
+    Every non-phone behaviour maps to ``ImuClass.NORMAL`` because the phone
+    sits in the driver's pocket in the "Normal Driving" position (Table 1).
+    """
+    behavior = DrivingBehavior(behavior)
+    if behavior == DrivingBehavior.TALKING:
+        return ImuClass.TALKING
+    if behavior == DrivingBehavior.TEXTING:
+        return ImuClass.TEXTING
+    return ImuClass.NORMAL
+
+
+def behavior_names() -> list[str]:
+    """Display names ordered by class index."""
+    return [behavior.display_name for behavior in DrivingBehavior]
+
+
+def imu_class_names() -> list[str]:
+    """IMU label names ordered by class index."""
+    return [cls.name.title() for cls in ImuClass]
+
+
+def scaled_frame_counts(total: int) -> dict[DrivingBehavior, int]:
+    """Scale the paper's per-class frame counts to a target total.
+
+    Preserves Table 1's class imbalance (reaching is ~3.6x normal driving)
+    at laptop scale.  Every class gets at least one frame.
+    """
+    if total <= 0:
+        raise ConfigurationError(f"total must be positive, got {total}")
+    paper_total = sum(PAPER_FRAME_COUNTS.values())
+    counts = {
+        behavior: max(1, round(total * paper_count / paper_total))
+        for behavior, paper_count in PAPER_FRAME_COUNTS.items()
+    }
+    return counts

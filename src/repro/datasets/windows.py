@@ -1,0 +1,73 @@
+"""Sliding-window extraction from streamed IMU data.
+
+Bridges the streaming framework and the analytics engine: the controller
+produces a 4 Hz aligned IMU stream; the RNN consumes fixed 20-step windows
+("the network is trained and evaluated on a sliding window of 20 data
+points", paper §4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def sliding_windows(values: np.ndarray, *, steps: int = DEFAULT_WINDOW_STEPS,
+                    stride: int = 1) -> np.ndarray:
+    """Extract overlapping windows from a (time, features) stream.
+
+    Returns (num_windows, steps, features); windows are copies.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    if values.ndim != 2:
+        raise ShapeError(f"expected (time, features) stream, got {values.shape}")
+    if steps <= 0 or stride <= 0:
+        raise ConfigurationError("steps and stride must be positive")
+    count = (values.shape[0] - steps) // stride + 1
+    if count <= 0:
+        return np.empty((0, steps, values.shape[1]), dtype=np.float32)
+    windows = np.stack([
+        values[i * stride:i * stride + steps] for i in range(count)
+    ])
+    return windows
+
+
+def window_labels(labels: np.ndarray, *, steps: int = DEFAULT_WINDOW_STEPS,
+                  stride: int = 1, reject_mixed: bool = False) -> np.ndarray:
+    """Label each sliding window by the majority label of its steps.
+
+    With ``reject_mixed`` windows containing more than one label get -1
+    (useful to drop transition windows between scripted distractions).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    count = (labels.shape[0] - steps) // stride + 1
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        segment = labels[i * stride:i * stride + steps]
+        unique, counts = np.unique(segment, return_counts=True)
+        if reject_mixed and unique.size > 1:
+            out[i] = -1
+        else:
+            out[i] = int(unique[np.argmax(counts)])
+    return out
+
+
+def windows_from_stream(values: np.ndarray, labels: np.ndarray, *,
+                        steps: int = DEFAULT_WINDOW_STEPS, stride: int = 1,
+                        drop_unlabelled: bool = True
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Windows plus majority labels, filtering unlabelled (-1) windows."""
+    if values.shape[0] != labels.shape[0]:
+        raise ShapeError(
+            f"stream has {values.shape[0]} steps but {labels.shape[0]} labels"
+        )
+    windows = sliding_windows(values, steps=steps, stride=stride)
+    marks = window_labels(labels, steps=steps, stride=stride)
+    if drop_unlabelled:
+        keep = marks >= 0
+        return windows[keep], marks[keep]
+    return windows, marks

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An array argument had an incompatible shape."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring training was called before training."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid options."""
+
+
+class SerializationError(ReproError):
+    """Saving or loading model state failed."""
+
+
+class StreamingError(ReproError):
+    """Base class for data-collection framework errors."""
+
+
+class AgentError(StreamingError):
+    """A collection agent failed to poll or transmit."""
+
+
+class ControllerError(StreamingError):
+    """The centralized controller received inconsistent input."""
+
+
+class TransportError(StreamingError):
+    """A simulated communication channel rejected a message."""

@@ -1,0 +1,21 @@
+"""Classic-ML baselines: kernel SVM and window-statistic features."""
+
+from repro.ml.kernels import (
+    get_kernel,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+from repro.ml.svm import BinarySVM, MultiClassSVM
+from repro.ml.features import (
+    CHANNEL_STATISTICS,
+    FeatureScaler,
+    extract_window_features,
+    feature_dimension,
+)
+
+__all__ = [
+    "linear_kernel", "rbf_kernel", "polynomial_kernel", "get_kernel",
+    "BinarySVM", "MultiClassSVM", "extract_window_features",
+    "feature_dimension", "FeatureScaler", "CHANNEL_STATISTICS",
+]

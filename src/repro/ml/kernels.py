@@ -1,0 +1,58 @@
+"""Kernel functions for the SVM baseline."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+Kernel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain inner-product kernel ``K[i, j] = a_i . b_j``."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64).T
+
+
+def rbf_kernel(gamma: float = 1.0) -> Kernel:
+    """Gaussian kernel factory: ``exp(-gamma * ||a_i - b_j||^2)``."""
+    if gamma <= 0:
+        raise ConfigurationError(f"gamma must be positive, got {gamma}")
+
+    def kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        a_sq = np.sum(a * a, axis=1)[:, None]
+        b_sq = np.sum(b * b, axis=1)[None, :]
+        distances = np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+        return np.exp(-gamma * distances)
+
+    return kernel
+
+
+def polynomial_kernel(degree: int = 3, coef0: float = 1.0,
+                      scale: float = 1.0) -> Kernel:
+    """Polynomial kernel factory: ``(scale * a.b + coef0) ** degree``."""
+    if degree < 1:
+        raise ConfigurationError(f"degree must be >= 1, got {degree}")
+
+    def kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return (scale * linear_kernel(a, b) + coef0) ** degree
+
+    return kernel
+
+
+def get_kernel(spec: str | Kernel, *, gamma: float = 1.0,
+               degree: int = 3) -> Kernel:
+    """Resolve a kernel by name ('linear', 'rbf', 'poly') or callable."""
+    if callable(spec):
+        return spec
+    if spec == "linear":
+        return linear_kernel
+    if spec == "rbf":
+        return rbf_kernel(gamma)
+    if spec == "poly":
+        return polynomial_kernel(degree)
+    raise ConfigurationError(f"unknown kernel {spec!r}")

@@ -1,0 +1,102 @@
+"""Weight initialization schemes for the numpy neural-network substrate.
+
+All initializers are plain functions of ``(shape, rng)`` returning a float32
+array.  Layers accept an initializer by name (string) or callable; see
+:func:`get_initializer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+Initializer = Callable[[Sequence[int], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional kernels.
+
+    Dense kernels are ``(in, out)``.  Convolution kernels are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return int(shape[0]), int(shape[1])
+    if len(shape) == 4:
+        receptive = int(shape[2]) * int(shape[3])
+        return int(shape[1]) * receptive, int(shape[0]) * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def zeros(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (biases, batch-norm shifts)."""
+    del rng
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """All-one initialization (batch-norm scales)."""
+    del rng
+    return np.ones(shape, dtype=np.float32)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He et al. (2015) normal init; standard choice before ReLU."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform init; used for tanh/sigmoid gates."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def orthogonal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal init (Saxe et al., 2013); used for recurrent kernels."""
+    if len(shape) < 2:
+        raise ConfigurationError("orthogonal init requires a >=2-D shape")
+    rows = int(shape[0])
+    cols = int(np.prod(shape[1:]))
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return q[:rows, :cols].reshape(shape).astype(np.float32)
+
+
+def small_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Small Gaussian init (std 0.01); used for final classifier layers."""
+    return rng.normal(0.0, 0.01, size=shape).astype(np.float32)
+
+
+_REGISTRY: dict[str, Initializer] = {
+    "zeros": zeros,
+    "ones": ones,
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+    "orthogonal": orthogonal,
+    "small_normal": small_normal,
+}
+
+
+def get_initializer(spec: str | Initializer) -> Initializer:
+    """Resolve an initializer given by name or callable.
+
+    Raises :class:`ConfigurationError` for unknown names.
+    """
+    if callable(spec):
+        return spec
+    try:
+        return _REGISTRY[spec]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown initializer {spec!r}; known initializers: {known}"
+        ) from None

@@ -1,0 +1,1 @@
+"""Layer implementations for the numpy NN substrate."""

@@ -1,0 +1,43 @@
+"""Inverted dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer, as_float32
+
+
+class Dropout(Layer):
+    """Inverted dropout: active in training, identity in eval.
+
+    Args:
+        rate: probability of zeroing each activation, in [0, 1).
+        rng: generator used to draw masks; defaults to a fresh generator
+            (pass one explicitly for reproducible training runs).
+    """
+
+    def __init__(self, rate: float = 0.5, *,
+                 rng: np.random.Generator | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.rng = rng or np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_float32(x)
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = as_float32(grad)
+        if self._mask is None:
+            return grad
+        return grad * self._mask

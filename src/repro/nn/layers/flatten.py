@@ -1,0 +1,43 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer, as_float32
+
+
+class Flatten(Layer):
+    """Flatten all non-batch axes: ``(n, ...) -> (n, prod(...))``."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_float32(x)
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        shape = self._require_cache(self._shape, "shape")
+        return as_float32(grad).reshape(shape)
+
+
+class Reshape(Layer):
+    """Reshape non-batch axes to a fixed target shape."""
+
+    def __init__(self, target_shape: tuple[int, ...],
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        self.target_shape = tuple(int(d) for d in target_shape)
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_float32(x)
+        self._shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        shape = self._require_cache(self._shape, "shape")
+        return as_float32(grad).reshape(shape)

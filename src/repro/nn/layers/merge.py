@@ -1,0 +1,84 @@
+"""Multi-branch composites used by Inception-style blocks.
+
+:class:`ParallelBranches` feeds the same input through several branch
+sub-networks and concatenates their outputs along the channel axis — exactly
+the structure of an Inception module.  Backward splits the incoming gradient
+per branch and sums the branch input-gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.layers.base import Layer, as_float32
+
+
+class ParallelBranches(Layer):
+    """Apply branches to a shared input, concatenate along ``axis``.
+
+    Args:
+        branches: branch sub-networks (any :class:`Layer`, usually
+            :class:`~repro.nn.layers.sequential.Sequential`).
+        axis: concatenation axis; 1 (channels) for NCHW feature maps.
+    """
+
+    def __init__(self, branches: list[Layer], *, axis: int = 1,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if not branches:
+            raise ConfigurationError("ParallelBranches requires >=1 branch")
+        self.branches = list(branches)
+        self.axis = int(axis)
+        self._split_sizes: list[int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_float32(x)
+        outputs = [branch.forward(x) for branch in self.branches]
+        ref = outputs[0].shape
+        for out in outputs[1:]:
+            same = list(out.shape)
+            same[self.axis] = ref[self.axis]
+            if tuple(same) != ref:
+                raise ShapeError(
+                    f"{self.name}: branch outputs disagree off-axis: "
+                    f"{[o.shape for o in outputs]}"
+                )
+        self._split_sizes = [out.shape[self.axis] for out in outputs]
+        return np.concatenate(outputs, axis=self.axis)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        sizes = self._require_cache(self._split_sizes, "split sizes")
+        grad = as_float32(grad)
+        boundaries = np.cumsum(sizes)[:-1]
+        pieces = np.split(grad, boundaries, axis=self.axis)
+        dx = self.branches[0].backward(pieces[0])
+        for branch, piece in zip(self.branches[1:], pieces[1:]):
+            dx = dx + branch.backward(piece)
+        return dx
+
+    def children(self) -> Iterator[Layer]:
+        yield from self.branches
+
+
+class Residual(Layer):
+    """Residual connection ``y = x + f(x)`` (shapes must match)."""
+
+    def __init__(self, inner: Layer, name: str | None = None) -> None:
+        super().__init__(name)
+        self.inner = inner
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_float32(x)
+        out = self.inner.forward(x)
+        if out.shape != x.shape:
+            raise ShapeError(
+                f"{self.name}: residual shape mismatch {out.shape} vs {x.shape}"
+            )
+        return x + out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = as_float32(grad)
+        return grad + self.inner.backward(grad)

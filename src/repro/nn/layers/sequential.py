@@ -1,0 +1,46 @@
+"""Sequential layer container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order; backward runs in reverse."""
+
+    def __init__(self, layers: list[Layer] | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        self.layers: list[Layer] = list(layers or [])
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def children(self) -> Iterator[Layer]:
+        yield from self.layers
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}])"

@@ -1,0 +1,128 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> float`` and
+``backward() -> ndarray`` (gradient w.r.t. the predictions, already divided
+by the batch size so optimizer steps are batch-size invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError, ShapeError
+from repro.nn.layers.activations import log_softmax, softmax
+
+
+class Loss:
+    """Base class for losses."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+    def _require(self, cache: object):
+        if cache is None:
+            raise ReproError(f"{type(self).__name__}: backward before forward")
+        return cache
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Fused softmax + cross-entropy on integer class labels.
+
+    Supports optional label smoothing and per-class weights (useful for the
+    imbalanced Table-1 class distribution).
+    """
+
+    def __init__(self, *, label_smoothing: float = 0.0,
+                 class_weights: np.ndarray | None = None) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ShapeError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = float(label_smoothing)
+        self.class_weights = (
+            None if class_weights is None
+            else np.asarray(class_weights, dtype=np.float32)
+        )
+        self._cache: tuple | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(predictions, dtype=np.float32)
+        labels = np.asarray(targets)
+        if logits.ndim != 2:
+            raise ShapeError(f"expected (batch, classes) logits, got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"expected {logits.shape[0]} integer labels, got shape {labels.shape}"
+            )
+        n, k = logits.shape
+        log_p = log_softmax(logits, axis=1)
+        smooth = self.label_smoothing
+        target_dist = np.full((n, k), smooth / k, dtype=np.float32)
+        target_dist[np.arange(n), labels] += 1.0 - smooth
+        weights = np.ones(n, dtype=np.float32)
+        if self.class_weights is not None:
+            weights = self.class_weights[labels]
+        per_sample = -(target_dist * log_p).sum(axis=1) * weights
+        self._cache = (softmax(logits, axis=1), target_dist, weights, n)
+        return float(per_sample.mean())
+
+    def backward(self) -> np.ndarray:
+        probs, target_dist, weights, n = self._require(self._cache)
+        return (probs - target_dist) * weights[:, None] / n
+
+
+class MSELoss(Loss):
+    """Mean squared error; the paper's dCNN distillation objective.
+
+    The paper trains the dCNN "by computing the L2 euclidean distance"
+    between the dCNN's output on the distorted frame and the teacher CNN's
+    output on the clean frame (§4.3).
+    """
+
+    def __init__(self) -> None:
+        self._cache: tuple | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        pred = np.asarray(predictions, dtype=np.float32)
+        tgt = np.asarray(targets, dtype=np.float32)
+        if pred.shape != tgt.shape:
+            raise ShapeError(f"shape mismatch: {pred.shape} vs {tgt.shape}")
+        diff = pred - tgt
+        self._cache = (diff, pred.shape[0])
+        return float(np.mean(diff * diff))
+
+    def backward(self) -> np.ndarray:
+        diff, _ = self._require(self._cache)
+        return 2.0 * diff / diff.size
+
+
+class HingeLoss(Loss):
+    """Multi-class hinge (Crammer-Singer style) on integer labels.
+
+    Provided for completeness of the SVM comparison; the production SVM in
+    :mod:`repro.ml.svm` solves the kernelized dual instead.
+    """
+
+    def __init__(self, margin: float = 1.0) -> None:
+        self.margin = float(margin)
+        self._cache: tuple | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        scores = np.asarray(predictions, dtype=np.float32)
+        labels = np.asarray(targets)
+        n = scores.shape[0]
+        correct = scores[np.arange(n), labels][:, None]
+        margins = np.maximum(0.0, scores - correct + self.margin)
+        margins[np.arange(n), labels] = 0.0
+        self._cache = (margins, labels, n)
+        return float(margins.sum() / n)
+
+    def backward(self) -> np.ndarray:
+        margins, labels, n = self._require(self._cache)
+        grad = (margins > 0).astype(np.float32)
+        grad[np.arange(n), labels] = -grad.sum(axis=1)
+        return grad / n

@@ -1,0 +1,99 @@
+"""Classification metrics: accuracy, top-k, confusion matrices, reports."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches (the paper's "Top-1 percentage")."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(f"label shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ShapeError("cannot compute accuracy of zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def top_k_accuracy(y_true: np.ndarray, probabilities: np.ndarray,
+                   k: int = 1) -> float:
+    """Hit@k: true label appears among the k most probable classes."""
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probabilities)
+    if probs.ndim != 2 or probs.shape[0] != y_true.shape[0]:
+        raise ShapeError(
+            f"expected ({y_true.shape[0]}, classes) probabilities, got {probs.shape}"
+        )
+    if not 1 <= k <= probs.shape[1]:
+        raise ShapeError(f"k={k} out of range for {probs.shape[1]} classes")
+    top = np.argsort(-probs, axis=1)[:, :k]
+    return float(np.mean(np.any(top == y_true[:, None], axis=1)))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int | None = None) -> np.ndarray:
+    """Row-indexed-by-truth confusion counts ``C[i, j]``: true i predicted j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(f"label shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if num_classes is None:
+        num_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def normalized_confusion(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalize a confusion matrix to per-true-class rates.
+
+    Rows with no samples become all-zero rather than NaN.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    totals = matrix.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    return np.where(totals > 0, matrix / safe, 0.0)
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                       num_classes: int | None = None) -> np.ndarray:
+    """Diagonal of the row-normalized confusion matrix (recall per class)."""
+    return np.diag(normalized_confusion(confusion_matrix(y_true, y_pred,
+                                                         num_classes)))
+
+
+def precision_recall_f1(y_true: np.ndarray, y_pred: np.ndarray,
+                        num_classes: int | None = None
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class (precision, recall, f1).  Undefined entries are 0."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes).astype(np.float64)
+    tp = np.diag(matrix)
+    predicted = matrix.sum(axis=0)
+    actual = matrix.sum(axis=1)
+    precision = np.where(predicted > 0, tp / np.maximum(predicted, 1e-12), 0.0)
+    recall = np.where(actual > 0, tp / np.maximum(actual, 1e-12), 0.0)
+    denom = precision + recall
+    f1 = np.where(denom > 0, 2 * precision * recall / np.maximum(denom, 1e-12), 0.0)
+    return precision, recall, f1
+
+
+def format_confusion(matrix: np.ndarray, labels: list[str] | None = None,
+                     normalize: bool = True) -> str:
+    """Render a confusion matrix as an aligned text table (for benches)."""
+    data = normalized_confusion(matrix) if normalize else np.asarray(matrix)
+    n = data.shape[0]
+    labels = labels or [str(i) for i in range(n)]
+    width = max(len(label) for label in labels) + 2
+    cell = 7
+    header = " " * width + "".join(f"{label[:cell - 1]:>{cell}}" for label in labels)
+    lines = [header]
+    for i, label in enumerate(labels):
+        if normalize:
+            row = "".join(f"{data[i, j]:>{cell}.2f}" for j in range(n))
+        else:
+            row = "".join(f"{int(data[i, j]):>{cell}d}" for j in range(n))
+        lines.append(f"{label:<{width}}{row}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""First-order optimizers operating on :class:`~repro.nn.layers.base.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Parameter
+
+
+class Optimizer:
+    """Base optimizer: tracks a parameter list and a learning rate."""
+
+    def __init__(self, parameters, learning_rate: float) -> None:
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received no parameters")
+        if learning_rate <= 0:
+            raise ConfigurationError(f"learning rate must be > 0, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every tracked parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Scale all gradients so their global L2 norm is <= ``max_norm``.
+
+        Returns the pre-clip norm.  Essential for LSTM training stability.
+        """
+        total = 0.0
+        for param in self.parameters:
+            total += float(np.sum(param.grad.astype(np.float64) ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm > 0:
+            scale = max_norm / (norm + 1e-12)
+            for param in self.parameters:
+                param.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay.
+
+    The paper trains the dCNN "using stochastic gradient descent as the
+    optimization technique" (§4.3).
+    """
+
+    def __init__(self, parameters, learning_rate: float = 0.01, *,
+                 momentum: float = 0.0, nesterov: bool = False,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ConfigurationError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, vel in zip(self.parameters, self._velocity):
+            if not param.trainable:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            if self.momentum:
+                vel *= self.momentum
+                vel -= self.learning_rate * grad
+                if self.nesterov:
+                    param.value += self.momentum * vel - self.learning_rate * grad
+                else:
+                    param.value += vel
+            else:
+                param.value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction and weight decay."""
+
+    def __init__(self, parameters, learning_rate: float = 0.001, *,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if not param.trainable:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bc1
+            v_hat = v / bc2
+            param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class LearningRateSchedule:
+    """Step-decay schedule: multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, *, step_size: int,
+                 gamma: float = 0.5, min_lr: float = 1e-6) -> None:
+        if step_size <= 0:
+            raise ConfigurationError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        self.min_lr = float(min_lr)
+        self._epoch = 0
+
+    def on_epoch_end(self) -> float:
+        """Advance one epoch; returns the (possibly decayed) learning rate."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            new_lr = max(self.optimizer.learning_rate * self.gamma, self.min_lr)
+            self.optimizer.learning_rate = new_lr
+        return self.optimizer.learning_rate

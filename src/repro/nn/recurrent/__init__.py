@@ -1,0 +1,1 @@
+"""Recurrent layers: LSTM, bidirectional wrapper."""

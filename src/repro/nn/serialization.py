@@ -1,0 +1,111 @@
+"""Weight checkpointing.
+
+Weights are stored in ``.npz`` archives keyed by parameter index and name.
+Loading validates both the parameter count and every shape, so a checkpoint
+can only be restored into a structurally identical network.  Batch-norm
+running statistics are saved alongside trainable parameters.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.nn.layers.base import Layer
+from repro.nn.layers.batchnorm import BatchNorm
+
+
+def _batchnorm_layers(network: Layer) -> Iterable[BatchNorm]:
+    if isinstance(network, BatchNorm):
+        yield network
+    for child in network.children():
+        yield from _batchnorm_layers(child)
+
+
+def save_weights(network: Layer, path: str) -> None:
+    """Save all parameters and batch-norm running stats to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    for index, param in enumerate(network.parameters()):
+        arrays[f"param_{index:04d}"] = param.value
+        arrays[f"name_{index:04d}"] = np.array(param.name)
+    for index, bn_layer in enumerate(_batchnorm_layers(network)):
+        arrays[f"bn_mean_{index:04d}"] = bn_layer.running_mean
+        arrays[f"bn_var_{index:04d}"] = bn_layer.running_var
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_weights(network: Layer, path: str, *, strict: bool = True) -> None:
+    """Restore parameters saved by :func:`save_weights` into ``network``.
+
+    With ``strict=False``, trailing parameters present in the network but
+    absent from the checkpoint are left untouched (used when fine-tuning a
+    network whose classifier head was replaced).
+    """
+    if not os.path.exists(path):
+        raise SerializationError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        params = list(network.parameters())
+        saved = sorted(key for key in archive.files if key.startswith("param_"))
+        if strict and len(saved) != len(params):
+            raise SerializationError(
+                f"parameter count mismatch: checkpoint has {len(saved)}, "
+                f"network has {len(params)}"
+            )
+        for key, param in zip(saved, params):
+            value = archive[key]
+            if value.shape != param.value.shape:
+                if strict:
+                    raise SerializationError(
+                        f"shape mismatch for {param.name}: checkpoint "
+                        f"{value.shape} vs network {param.value.shape}"
+                    )
+                continue
+            param.value = value.astype(np.float32)
+        bn_layers = list(_batchnorm_layers(network))
+        means = sorted(k for k in archive.files if k.startswith("bn_mean_"))
+        for key, bn_layer in zip(means, bn_layers):
+            stats = archive[key]
+            if stats.shape == bn_layer.running_mean.shape:
+                bn_layer.running_mean = stats.astype(np.float32)
+        variances = sorted(k for k in archive.files if k.startswith("bn_var_"))
+        for key, bn_layer in zip(variances, bn_layers):
+            stats = archive[key]
+            if stats.shape == bn_layer.running_var.shape:
+                bn_layer.running_var = stats.astype(np.float32)
+
+
+def copy_weights(source: Layer, target: Layer, *, strict: bool = True) -> int:
+    """Copy parameters layer-order-wise from ``source`` into ``target``.
+
+    Returns the number of parameters copied.  Used to initialize a dCNN
+    student from the trained teacher CNN (paper §4.3) without touching disk.
+    """
+    src = list(source.parameters())
+    dst = list(target.parameters())
+    if strict and len(src) != len(dst):
+        raise SerializationError(
+            f"parameter count mismatch: source {len(src)} vs target {len(dst)}"
+        )
+    copied = 0
+    for s_param, d_param in zip(src, dst):
+        if s_param.value.shape != d_param.value.shape:
+            if strict:
+                raise SerializationError(
+                    f"shape mismatch: {s_param.name} {s_param.value.shape} vs "
+                    f"{d_param.name} {d_param.value.shape}"
+                )
+            continue
+        d_param.value = s_param.value.copy()
+        copied += 1
+    src_bn = list(_batchnorm_layers(source))
+    dst_bn = list(_batchnorm_layers(target))
+    for s_layer, d_layer in zip(src_bn, dst_bn):
+        if s_layer.running_mean.shape == d_layer.running_mean.shape:
+            d_layer.running_mean = s_layer.running_mean.copy()
+            d_layer.running_var = s_layer.running_var.copy()
+    return copied

@@ -1,0 +1,68 @@
+"""Simulated clocks.
+
+The data-collection framework runs inside a discrete-event simulation: a
+single :class:`VirtualClock` advances simulation ("true") time, and each
+device owns a :class:`DriftingClock` that maps true time to its local
+reading through an offset and a drift rate.  The paper's observation that
+"the system clock is highly susceptible to drift" (§4.1) is what the
+re-sync protocol in :mod:`repro.streaming.sync` corrects for; this module
+provides the drift to correct.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+class VirtualClock:
+    """Monotonic simulation time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance simulation time by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise ConfigurationError(f"cannot advance time by {dt} (< 0)")
+        self._now += dt
+        return self._now
+
+
+class DriftingClock:
+    """A device-local clock with constant drift relative to true time.
+
+    Local reading ``= offset + (true - anchor) * (1 + drift_ppm * 1e-6)``
+    where ``anchor``/``offset`` are reset by :meth:`set_time` — the agent's
+    response to a sync message from the controller.
+
+    Args:
+        source: the true-time source.
+        drift_ppm: drift rate in parts per million (positive = runs fast).
+            Real smartphone oscillators drift on the order of 10-100 ppm.
+        initial_offset: initial error of the local clock, seconds.
+    """
+
+    def __init__(self, source: VirtualClock, *, drift_ppm: float = 0.0,
+                 initial_offset: float = 0.0) -> None:
+        self.source = source
+        self.drift_rate = 1.0 + float(drift_ppm) * 1e-6
+        self._anchor_true = source.now()
+        self._anchor_local = source.now() + float(initial_offset)
+
+    def now(self) -> float:
+        """Local clock reading at the current true time."""
+        elapsed = self.source.now() - self._anchor_true
+        return self._anchor_local + elapsed * self.drift_rate
+
+    def set_time(self, local_time: float) -> None:
+        """Force the local reading to ``local_time`` (clock-sync step)."""
+        self._anchor_true = self.source.now()
+        self._anchor_local = float(local_time)
+
+    def error(self) -> float:
+        """Signed error of the local reading vs. true time (seconds)."""
+        return self.now() - self.source.now()

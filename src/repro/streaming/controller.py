@@ -1,0 +1,212 @@
+"""The centralized controller.
+
+Responsibilities (paper §3.2): aggregate data received from agents, order
+it by payload timestamp (arrival order is scrambled by the network), fill
+gaps by interpolation onto a consistent grid, smooth with a sliding moving
+average, keep agent clocks synchronized, persist into the time-series
+database, and decide where processing happens (local vs. remote) based on
+network conditions — selecting a privacy level for frames shipped remotely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ControllerError
+from repro.streaming.agent import CollectionAgent
+from repro.streaming.normalization import align_streams
+from repro.streaming.records import FrameRecord, SensorReading
+from repro.streaming.sync import ClockSynchronizer
+from repro.streaming.transport import Channel
+from repro.streaming.tsdb import TimeSeriesDatabase
+
+
+class ProcessingLocation(enum.Enum):
+    """Where the analytics engine runs for the current session."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """Observed link quality used by the processing decision."""
+
+    bandwidth_bps: float
+    latency_s: float
+    loss_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class ProcessingPolicy:
+    """Thresholds for the local/remote decision.
+
+    A remote server "would have a greater amount of processing power",
+    but "under poor network conditions, the controller has the option of
+    processing all data locally, albeit slower" (paper §3.2).
+    """
+
+    min_remote_bandwidth_bps: float = 1_000_000.0
+    max_remote_latency_s: float = 0.5
+    max_remote_loss_rate: float = 0.1
+    local_slowdown: float = 8.0
+
+
+def decide_processing(conditions: NetworkConditions,
+                      policy: ProcessingPolicy | None = None
+                      ) -> ProcessingLocation:
+    """Pick local vs. remote processing from link quality."""
+    policy = policy or ProcessingPolicy()
+    good_network = (
+        conditions.bandwidth_bps >= policy.min_remote_bandwidth_bps
+        and conditions.latency_s <= policy.max_remote_latency_s
+        and conditions.loss_rate <= policy.max_remote_loss_rate
+    )
+    return ProcessingLocation.REMOTE if good_network else ProcessingLocation.LOCAL
+
+
+@dataclass
+class RegisteredAgent:
+    """Controller-side bookkeeping for one agent."""
+
+    agent: CollectionAgent
+    uplink: Channel
+    synchronizer: ClockSynchronizer | None = None
+
+
+class CentralizedController:
+    """Aggregates agent streams; runs on the dashcam tablet in the paper.
+
+    Args:
+        clock: the controller's own clock (the sync master).  Any object
+            with ``now()``; typically the undrifted :class:`VirtualClock`.
+        tsdb: destination store for aligned tuples.
+        grid_period: aggregation interval for interpolation (paper's IMU
+            pipeline samples at 4 Hz -> 0.25 s).
+        smoothing_window: sliding-moving-average width in grid steps.
+        frame_transform: optional hook applied to each received frame
+            (the privacy distortion module plugs in here).
+    """
+
+    def __init__(self, clock, *, tsdb: TimeSeriesDatabase | None = None,
+                 grid_period: float = 0.25, smoothing_window: int = 3,
+                 frame_transform: Callable[[FrameRecord], FrameRecord] | None = None
+                 ) -> None:
+        if grid_period <= 0:
+            raise ConfigurationError("grid period must be positive")
+        self.clock = clock
+        self.tsdb = tsdb or TimeSeriesDatabase()
+        self.grid_period = float(grid_period)
+        self.smoothing_window = int(smoothing_window)
+        self.frame_transform = frame_transform
+        self._agents: dict[str, RegisteredAgent] = {}
+        self._raw: dict[tuple[str, str], list[SensorReading]] = {}
+        self.frames: list[FrameRecord] = []
+        self.readings_received = 0
+        self.frames_received = 0
+
+    # -- registration --------------------------------------------------------
+    def register_agent(self, agent: CollectionAgent, uplink: Channel,
+                       downlink: Channel | None = None,
+                       sync_interval: float = 5.0) -> None:
+        """Open the two-way channel with an agent; start its clock sync."""
+        if agent.agent_id in self._agents:
+            raise ControllerError(f"agent {agent.agent_id!r} already registered")
+        synchronizer = None
+        if downlink is not None:
+            synchronizer = ClockSynchronizer(agent, downlink,
+                                             sync_interval=sync_interval)
+        self._agents[agent.agent_id] = RegisteredAgent(agent, uplink, synchronizer)
+
+    @property
+    def agent_ids(self) -> list[str]:
+        """Registered agent names, sorted."""
+        return sorted(self._agents)
+
+    # -- simulation hook -------------------------------------------------------
+    def step(self, true_time: float) -> None:
+        """Drain uplinks, ingest payloads, and run due clock syncs."""
+        for registered in self._agents.values():
+            if registered.synchronizer is not None:
+                registered.synchronizer.step(true_time, self.clock.now())
+            for message in registered.uplink.poll(true_time):
+                self._ingest(message.payload)
+
+    def _ingest(self, payload) -> None:
+        if isinstance(payload, (list, tuple)):
+            for item in payload:
+                self._ingest(item)
+            return
+        if isinstance(payload, SensorReading):
+            key = (payload.agent_id, payload.sensor)
+            self._raw.setdefault(key, []).append(payload)
+            self.readings_received += 1
+        elif isinstance(payload, FrameRecord):
+            if self.frame_transform is not None:
+                payload = self.frame_transform(payload)
+            self.frames.append(payload)
+            self.frames_received += 1
+        else:
+            raise ControllerError(f"unexpected payload type {type(payload).__name__}")
+
+    # -- normalization / persistence -----------------------------------------
+    def raw_streams(self) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Time-ordered raw streams keyed ``"agent/sensor"``."""
+        streams: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for (agent_id, sensor), readings in self._raw.items():
+            ordered = sorted(readings, key=lambda r: r.timestamp)
+            timestamps = np.array([r.timestamp for r in ordered])
+            values = np.array([r.values for r in ordered])
+            streams[f"{agent_id}/{sensor}"] = (timestamps, values)
+        return streams
+
+    def raw_labels(self, agent_id: str, sensor: str) -> np.ndarray:
+        """Time-ordered labels for one stream (-1 where unlabelled)."""
+        readings = self._raw.get((agent_id, sensor))
+        if not readings:
+            raise ControllerError(f"no data for {agent_id}/{sensor}")
+        ordered = sorted(readings, key=lambda r: r.timestamp)
+        return np.array([-1 if r.label is None else r.label for r in ordered])
+
+    def normalize(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Interpolate every stream onto the shared grid and smooth.
+
+        Returns the grid and per-stream aligned values; also persists each
+        aligned stream into the TSDB.
+        """
+        streams = self.raw_streams()
+        if not streams:
+            raise ControllerError("no sensor data received yet")
+        grid, aligned = align_streams(streams, self.grid_period,
+                                      smoothing_window=self.smoothing_window)
+        for name, values in aligned.items():
+            self.tsdb.insert_many(name, grid, values)
+        return grid, aligned
+
+    def grid_labels(self, grid: np.ndarray, agent_id: str,
+                    sensor: str) -> np.ndarray:
+        """Nearest-neighbour labels for grid points from a labelled stream."""
+        readings = self._raw.get((agent_id, sensor))
+        if not readings:
+            raise ControllerError(f"no data for {agent_id}/{sensor}")
+        ordered = sorted(readings, key=lambda r: r.timestamp)
+        timestamps = np.array([r.timestamp for r in ordered])
+        labels = np.array([-1 if r.label is None else r.label for r in ordered])
+        indices = np.searchsorted(timestamps, grid)
+        indices = np.clip(indices, 0, len(ordered) - 1)
+        left = np.clip(indices - 1, 0, len(ordered) - 1)
+        use_left = (np.abs(timestamps[left] - grid)
+                    < np.abs(timestamps[indices] - grid))
+        return labels[np.where(use_left, left, indices)]
+
+    def sync_report(self) -> dict[str, float]:
+        """Worst residual clock error per agent after synchronization."""
+        report = {}
+        for agent_id, registered in self._agents.items():
+            if registered.synchronizer is not None:
+                report[agent_id] = registered.synchronizer.worst_residual_error()
+        return report

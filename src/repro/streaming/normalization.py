@@ -1,0 +1,140 @@
+"""Controller-side data normalization.
+
+"Because the timestamps for data received from different agents will not
+align exactly, the controller uses interpolation to fill in the gaps, and
+to aggregate the data at consistent intervals.  Additionally, the
+controller performs a smoothing operation on the data by maintaining a
+sliding moving average." (paper §3.2)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def interpolate_to_grid(timestamps: np.ndarray, values: np.ndarray,
+                        grid: np.ndarray) -> np.ndarray:
+    """Linearly interpolate an irregular series onto a regular grid.
+
+    Grid points outside the observed range clamp to the first/last
+    observation.  ``values`` may be 1-D or 2-D ``(samples, dims)``.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    grid = np.asarray(grid, dtype=np.float64)
+    if timestamps.ndim != 1 or timestamps.size == 0:
+        raise ShapeError("timestamps must be a non-empty 1-D array")
+    if values.shape[0] != timestamps.shape[0]:
+        raise ShapeError(
+            f"{values.shape[0]} values for {timestamps.shape[0]} timestamps"
+        )
+    if np.any(np.diff(timestamps) < 0):
+        order = np.argsort(timestamps, kind="stable")
+        timestamps = timestamps[order]
+        values = values[order]
+    if values.ndim == 1:
+        return np.interp(grid, timestamps, values)
+    columns = [np.interp(grid, timestamps, values[:, d])
+               for d in range(values.shape[1])]
+    return np.stack(columns, axis=1)
+
+
+def make_grid(start: float, end: float, period: float) -> np.ndarray:
+    """Regular timestamps ``start, start+period, ...`` not exceeding ``end``."""
+    if period <= 0:
+        raise ConfigurationError(f"grid period must be positive, got {period}")
+    if end < start:
+        raise ConfigurationError(f"grid end {end} before start {start}")
+    count = int(np.floor((end - start) / period)) + 1
+    return start + period * np.arange(count, dtype=np.float64)
+
+
+class SlidingMovingAverage:
+    """Streaming moving average over the last ``window`` samples.
+
+    Normalizes commodity-sensor aberrations: a spike is averaged against
+    its neighbours.  Vector-valued samples are averaged per dimension.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive, got {window}")
+        self.window = int(window)
+        self._buffer: deque = deque(maxlen=self.window)
+        self._running_sum: np.ndarray | None = None
+
+    def update(self, value: np.ndarray | float) -> np.ndarray:
+        """Push one sample; return the current smoothed value."""
+        vec = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        if self._running_sum is None:
+            self._running_sum = np.zeros_like(vec)
+        elif vec.shape != self._running_sum.shape:
+            raise ShapeError(
+                f"sample shape changed from {self._running_sum.shape} to {vec.shape}"
+            )
+        if len(self._buffer) == self.window:
+            self._running_sum -= self._buffer[0]
+        self._buffer.append(vec)
+        self._running_sum += vec
+        return self._running_sum / len(self._buffer)
+
+    def smooth_series(self, values: np.ndarray) -> np.ndarray:
+        """Apply the streaming average over a whole series (fresh state)."""
+        self.reset()
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            return np.array([float(self.update(v)[0]) for v in values])
+        return np.stack([self.update(v) for v in values])
+
+    def reset(self) -> None:
+        """Forget all buffered samples."""
+        self._buffer.clear()
+        self._running_sum = None
+
+
+def align_streams(streams: dict[str, tuple[np.ndarray, np.ndarray]],
+                  period: float,
+                  smoothing_window: int | None = None
+                  ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Align multiple irregular streams onto one shared grid.
+
+    The grid spans the *intersection* of all stream extents so every grid
+    point is covered by real data from every stream.
+
+    Args:
+        streams: name -> (timestamps, values) in a common time base.
+        period: grid period in seconds (paper: 0.25 s for the 4 Hz windows).
+        smoothing_window: optional moving-average width applied after
+            interpolation.
+
+    Returns:
+        (grid, {name: aligned values}) with aligned arrays sharing length.
+    """
+    if not streams:
+        raise ConfigurationError("no streams to align")
+    starts = []
+    ends = []
+    for name, (timestamps, _) in streams.items():
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if timestamps.size == 0:
+            raise ShapeError(f"stream {name!r} is empty")
+        starts.append(float(timestamps.min()))
+        ends.append(float(timestamps.max()))
+    start = max(starts)
+    end = min(ends)
+    if end < start:
+        raise ConfigurationError(
+            f"streams do not overlap in time: latest start {start} > earliest end {end}"
+        )
+    grid = make_grid(start, end, period)
+    aligned: dict[str, np.ndarray] = {}
+    for name, (timestamps, values) in streams.items():
+        resampled = interpolate_to_grid(timestamps, values, grid)
+        if smoothing_window is not None and smoothing_window > 1:
+            resampled = SlidingMovingAverage(smoothing_window).smooth_series(resampled)
+        aligned[name] = resampled
+    return grid, aligned

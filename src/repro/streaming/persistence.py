@@ -1,0 +1,89 @@
+"""Persistence for collected sensor data.
+
+The paper open-sources its collection framework as something "useful for
+quickly collecting, aggregating and labeling data" (§1) — which implies
+collected sessions can be saved and reloaded.  This module provides two
+formats:
+
+* JSONL for sensor readings (interoperable, greppable, append-only), and
+* ``.npz`` for whole :class:`~repro.streaming.tsdb.TimeSeriesDatabase`
+  snapshots (compact, fast).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.streaming.records import SensorReading
+from repro.streaming.tsdb import TimeSeriesDatabase
+
+
+def save_readings_jsonl(readings: list[SensorReading], path: str) -> int:
+    """Append-save readings as one JSON object per line; returns count."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for reading in readings:
+            handle.write(json.dumps(reading.to_dict()) + "\n")
+    return len(readings)
+
+
+def load_readings_jsonl(path: str) -> list[SensorReading]:
+    """Load readings written by :func:`save_readings_jsonl`."""
+    if not os.path.exists(path):
+        raise SerializationError(f"readings file not found: {path}")
+    readings: list[SensorReading] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                readings.append(SensorReading.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as error:
+                raise SerializationError(
+                    f"{path}:{line_number}: malformed reading ({error})"
+                ) from error
+    return readings
+
+
+def save_tsdb(db: TimeSeriesDatabase, path: str) -> None:
+    """Snapshot a time-series database to a ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {}
+    names = db.series_names()
+    arrays["__series__"] = np.array(names)
+    for index, series in enumerate(names):
+        timestamps, values, labels = db.as_arrays(series)
+        arrays[f"ts_{index:04d}"] = timestamps
+        arrays[f"val_{index:04d}"] = values
+        if labels is not None:
+            arrays[f"lab_{index:04d}"] = labels
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+
+
+def load_tsdb(path: str) -> TimeSeriesDatabase:
+    """Restore a database saved by :func:`save_tsdb`."""
+    if not os.path.exists(path):
+        raise SerializationError(f"tsdb snapshot not found: {path}")
+    db = TimeSeriesDatabase()
+    with np.load(path, allow_pickle=False) as archive:
+        if "__series__" not in archive.files:
+            raise SerializationError(f"{path} is not a tsdb snapshot")
+        names = [str(name) for name in archive["__series__"]]
+        for index, series in enumerate(names):
+            timestamps = archive[f"ts_{index:04d}"]
+            values = archive[f"val_{index:04d}"]
+            label_key = f"lab_{index:04d}"
+            labels = archive[label_key] if label_key in archive.files else None
+            for i, timestamp in enumerate(timestamps):
+                label = None
+                if labels is not None and labels[i] >= 0:
+                    label = int(labels[i])
+                db.insert(series, float(timestamp), values[i], label)
+    return db

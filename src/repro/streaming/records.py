@@ -1,0 +1,137 @@
+"""Data records exchanged between agents and the controller.
+
+Records are small frozen dataclasses with dict (JSON-able) round-trips so
+the framework can be used for "quickly collecting, aggregating and labeling
+data" (paper §1 contribution list) with straightforward persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import StreamingError
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One timestamped sample from one sensor on one agent.
+
+    Attributes:
+        agent_id: originating collection agent.
+        sensor: sensor name (e.g. ``"accelerometer"``).
+        timestamp: the *agent's local clock* reading at sample time.
+        values: the sample vector (copied, read-only).
+        label: optional ground-truth behaviour label attached during
+            scripted collection drives.
+    """
+
+    agent_id: str
+    sensor: str
+    timestamp: float
+    values: tuple[float, ...]
+    label: int | None = None
+
+    @classmethod
+    def create(cls, agent_id: str, sensor: str, timestamp: float,
+               values: np.ndarray | list[float],
+               label: int | None = None) -> "SensorReading":
+        """Build a reading from any array-like sample."""
+        vec = tuple(float(v) for v in np.asarray(values).ravel())
+        return cls(agent_id, sensor, float(timestamp), vec, label)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able representation."""
+        return {
+            "agent_id": self.agent_id,
+            "sensor": self.sensor,
+            "timestamp": self.timestamp,
+            "values": list(self.values),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SensorReading":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                agent_id=str(data["agent_id"]),
+                sensor=str(data["sensor"]),
+                timestamp=float(data["timestamp"]),
+                values=tuple(float(v) for v in data["values"]),
+                label=data.get("label"),
+            )
+        except KeyError as missing:
+            raise StreamingError(f"reading dict missing key {missing}") from None
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One camera frame with its local-clock timestamp.
+
+    Frames carry the raw image array (HxW or HxWxC float32 in [0, 1]) plus
+    the privacy level it was distorted to (``None`` = full resolution).
+    """
+
+    agent_id: str
+    timestamp: float
+    image: np.ndarray
+    privacy_level: str | None = None
+    label: int | None = None
+
+    def __post_init__(self) -> None:
+        image = np.asarray(self.image, dtype=np.float32)
+        image.setflags(write=False)
+        object.__setattr__(self, "image", image)
+
+    @property
+    def nbytes(self) -> int:
+        """Transmission size of the frame payload in bytes."""
+        return int(self.image.nbytes)
+
+
+@dataclass(frozen=True)
+class SyncMessage:
+    """Controller -> agent clock-distribution message (master UTC)."""
+
+    master_time: float
+
+
+@dataclass
+class Message:
+    """Transport envelope: a payload with send/delivery bookkeeping.
+
+    ``sent_at`` and ``delivered_at`` are *true* simulation times maintained
+    by the channel; payload timestamps remain in agent-local time, which is
+    exactly the skew the controller has to handle.
+    """
+
+    source: str
+    destination: str
+    payload: Any
+    sent_at: float
+    delivered_at: float | None = None
+    size_bytes: int = 0
+    sequence: int = field(default=0)
+
+    @property
+    def latency(self) -> float:
+        """One-way delay; raises if the message is still in flight."""
+        if self.delivered_at is None:
+            raise StreamingError("message has not been delivered yet")
+        return self.delivered_at - self.sent_at
+
+
+def payload_size(payload: Any) -> int:
+    """Estimate the wire size of a payload in bytes."""
+    if isinstance(payload, FrameRecord):
+        return payload.nbytes + 64
+    if isinstance(payload, SensorReading):
+        return 8 * len(payload.values) + 64
+    if isinstance(payload, SyncMessage):
+        return 16
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_size(item) for item in payload) + 16
+    return 64

@@ -1,0 +1,183 @@
+"""Processing placement: where the analytics engine actually runs.
+
+The controller "can choose between a local and remote configuration.  A
+remote server would have a greater amount of processing power ... However,
+under poor network conditions, the controller has the option of
+processing all data locally, albeit slower." (paper §3.2)
+
+This module models both deployments so their end-to-end verdict latency
+can be compared (the quantity the placement decision trades off):
+
+* :class:`RemoteRuntime` — ship the (possibly distorted) frame + window
+  over the uplink, run inference at server speed, ship the verdict back.
+* :class:`LocalRuntime` — no network, but inference pays the device's
+  slowdown factor.
+
+:func:`choose_runtime` applies the §3.2 decision and returns the runtime
+the controller would select for the observed conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streaming.controller import (
+    NetworkConditions,
+    ProcessingLocation,
+    ProcessingPolicy,
+    decide_processing,
+)
+from repro.streaming.transport import Channel
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Inference cost model for one placement.
+
+    ``seconds_per_frame`` is the reference (server) cost of one verdict;
+    ``slowdown`` scales it for weaker hardware (the phone/tablet).
+    """
+
+    seconds_per_frame: float = 0.004
+    slowdown: float = 1.0
+
+    def inference_seconds(self) -> float:
+        return self.seconds_per_frame * self.slowdown
+
+
+@dataclass
+class VerdictTiming:
+    """Latency breakdown of one classification round-trip."""
+
+    uplink_seconds: float
+    inference_seconds: float
+    downlink_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.uplink_seconds + self.inference_seconds
+                + self.downlink_seconds)
+
+
+class LocalRuntime:
+    """Run the analytics engine on the device itself.
+
+    Args:
+        compute: the device's compute profile (apply the policy's
+            ``local_slowdown``).
+    """
+
+    location = ProcessingLocation.LOCAL
+
+    def __init__(self, compute: ComputeProfile) -> None:
+        self.compute = compute
+
+    def verdict_timing(self, frame_bytes: int, window_bytes: int
+                       ) -> VerdictTiming:
+        """Latency of one verdict; no network legs."""
+        del frame_bytes, window_bytes
+        return VerdictTiming(uplink_seconds=0.0,
+                             inference_seconds=self.compute.inference_seconds(),
+                             downlink_seconds=0.0)
+
+
+class RemoteRuntime:
+    """Ship data to a server, classify there, return the verdict.
+
+    Args:
+        uplink: device -> server channel (bandwidth-limited).
+        downlink: server -> device channel for the verdict (tiny payload).
+        compute: the server's compute profile.
+    """
+
+    location = ProcessingLocation.REMOTE
+
+    def __init__(self, uplink: Channel, downlink: Channel,
+                 compute: ComputeProfile) -> None:
+        self.uplink = uplink
+        self.downlink = downlink
+        self.compute = compute
+
+    def verdict_timing(self, frame_bytes: int, window_bytes: int
+                       ) -> VerdictTiming:
+        """Latency of one verdict including both network legs."""
+        up = self.uplink.transit_delay(frame_bytes + window_bytes)
+        down = self.downlink.transit_delay(64)  # a verdict is tiny
+        return VerdictTiming(uplink_seconds=up,
+                             inference_seconds=self.compute.inference_seconds(),
+                             downlink_seconds=down)
+
+
+def frame_payload_bytes(edge: int, *, bytes_per_pixel: int = 4,
+                        channels: int = 1) -> int:
+    """Wire size of one square frame."""
+    if edge <= 0:
+        raise ConfigurationError("frame edge must be positive")
+    return edge * edge * channels * bytes_per_pixel + 64
+
+
+def choose_runtime(conditions: NetworkConditions, *,
+                   server_compute: ComputeProfile | None = None,
+                   policy: ProcessingPolicy | None = None,
+                   rng: np.random.Generator | None = None
+                   ) -> LocalRuntime | RemoteRuntime:
+    """Apply the §3.2 placement decision and build the chosen runtime."""
+    policy = policy or ProcessingPolicy()
+    server_compute = server_compute or ComputeProfile()
+    location = decide_processing(conditions, policy)
+    if location is ProcessingLocation.LOCAL:
+        device = ComputeProfile(
+            seconds_per_frame=server_compute.seconds_per_frame,
+            slowdown=policy.local_slowdown)
+        return LocalRuntime(device)
+    rng = rng or np.random.default_rng()
+    uplink = Channel("uplink", base_latency=conditions.latency_s,
+                     bandwidth_bps=conditions.bandwidth_bps,
+                     drop_probability=conditions.loss_rate, rng=rng)
+    downlink = Channel("downlink", base_latency=conditions.latency_s,
+                       bandwidth_bps=conditions.bandwidth_bps, rng=rng)
+    return RemoteRuntime(uplink, downlink, server_compute)
+
+
+def placement_sweep(bandwidths_bps: list[float], *,
+                    frame_edge: int = 64, window_bytes: int = 20 * 12 * 4,
+                    latency_s: float = 0.02,
+                    server_compute: ComputeProfile | None = None,
+                    policy: ProcessingPolicy | None = None,
+                    rng: np.random.Generator | None = None
+                    ) -> list[dict]:
+    """Verdict latency for local vs. remote across a bandwidth sweep.
+
+    Returns one row per bandwidth with the latency of *both* placements
+    and which one the §3.2 policy picks — showing the crossover the
+    controller's decision exploits.
+    """
+    policy = policy or ProcessingPolicy()
+    server_compute = server_compute or ComputeProfile()
+    rng = rng or np.random.default_rng()
+    frame_bytes = frame_payload_bytes(frame_edge)
+    device = ComputeProfile(
+        seconds_per_frame=server_compute.seconds_per_frame,
+        slowdown=policy.local_slowdown)
+    local = LocalRuntime(device)
+    rows = []
+    for bandwidth in bandwidths_bps:
+        conditions = NetworkConditions(bandwidth_bps=bandwidth,
+                                       latency_s=latency_s)
+        uplink = Channel("up", base_latency=latency_s,
+                         bandwidth_bps=bandwidth, rng=rng)
+        downlink = Channel("down", base_latency=latency_s,
+                           bandwidth_bps=bandwidth, rng=rng)
+        remote = RemoteRuntime(uplink, downlink, server_compute)
+        local_t = local.verdict_timing(frame_bytes, window_bytes)
+        remote_t = remote.verdict_timing(frame_bytes, window_bytes)
+        rows.append({
+            "bandwidth_bps": bandwidth,
+            "local_seconds": local_t.total_seconds,
+            "remote_seconds": remote_t.total_seconds,
+            "decision": decide_processing(conditions, policy).value,
+        })
+    return rows

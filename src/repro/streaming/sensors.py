@@ -1,0 +1,118 @@
+"""Simulated device sensors.
+
+A sensor is anything with ``name``, ``dimension``, and ``sample(true_time)``.
+The IMU sensors mirror the Android sensors DarNet's phone agent registers
+(accelerometer, gyroscope, gravity, rotation — paper §4.1); the camera
+sensor mirrors the tablet agent.  Signal content is supplied by a *signal
+function* of true time, so the dataset synthesizers in
+:mod:`repro.datasets.imu_synth` can drive the same sensor objects used in
+unit tests with constant or scripted signals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+SignalFunction = Callable[[float], np.ndarray]
+
+
+class Sensor(Protocol):
+    """Structural interface every sensor satisfies."""
+
+    name: str
+    dimension: int
+
+    def sample(self, true_time: float) -> np.ndarray:
+        """Return one sample at simulation time ``true_time``."""
+        ...
+
+
+class SyntheticSensor:
+    """Generic vector sensor: signal function plus additive Gaussian noise.
+
+    Commodity sensor hardware has bounded error (paper §3.2 motivates the
+    controller's smoothing pass with exactly this), modelled here as
+    per-axis Gaussian noise and a fixed bias.
+    """
+
+    def __init__(self, name: str, dimension: int, signal: SignalFunction, *,
+                 noise_std: float = 0.0, bias: np.ndarray | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if dimension <= 0:
+            raise ConfigurationError("sensor dimension must be positive")
+        self.name = name
+        self.dimension = int(dimension)
+        self.signal = signal
+        self.noise_std = float(noise_std)
+        self.bias = (np.zeros(dimension, dtype=np.float64) if bias is None
+                     else np.asarray(bias, dtype=np.float64))
+        if self.bias.shape != (dimension,):
+            raise ConfigurationError(
+                f"bias shape {self.bias.shape} != ({dimension},)"
+            )
+        self.rng = rng or np.random.default_rng()
+
+    def sample(self, true_time: float) -> np.ndarray:
+        """One noisy sample of the underlying signal."""
+        clean = np.asarray(self.signal(true_time), dtype=np.float64).ravel()
+        if clean.shape != (self.dimension,):
+            raise ConfigurationError(
+                f"{self.name}: signal returned shape {clean.shape}, "
+                f"expected ({self.dimension},)"
+            )
+        noisy = clean + self.bias
+        if self.noise_std:
+            noisy = noisy + self.rng.normal(0.0, self.noise_std, self.dimension)
+        return noisy
+
+
+def accelerometer(signal: SignalFunction, *, noise_std: float = 0.05,
+                  rng: np.random.Generator | None = None) -> SyntheticSensor:
+    """3-axis accelerometer (m/s^2), Android-typical noise floor."""
+    return SyntheticSensor("accelerometer", 3, signal, noise_std=noise_std, rng=rng)
+
+
+def gyroscope(signal: SignalFunction, *, noise_std: float = 0.02,
+              rng: np.random.Generator | None = None) -> SyntheticSensor:
+    """3-axis gyroscope (rad/s)."""
+    return SyntheticSensor("gyroscope", 3, signal, noise_std=noise_std, rng=rng)
+
+
+def gravity(signal: SignalFunction, *, noise_std: float = 0.02,
+            rng: np.random.Generator | None = None) -> SyntheticSensor:
+    """3-axis gravity vector (m/s^2) — Android's low-passed accelerometer."""
+    return SyntheticSensor("gravity", 3, signal, noise_std=noise_std, rng=rng)
+
+
+def rotation(signal: SignalFunction, *, noise_std: float = 0.01,
+             rng: np.random.Generator | None = None) -> SyntheticSensor:
+    """Rotation vector sensor (3 components of the device quaternion)."""
+    return SyntheticSensor("rotation", 3, signal, noise_std=noise_std, rng=rng)
+
+
+class CameraSensor:
+    """Frame source for the dashcam agent.
+
+    ``frame_fn(true_time)`` returns an HxW (or HxWxC) float32 image in
+    [0, 1]; the agent wraps it into a
+    :class:`~repro.streaming.records.FrameRecord`.
+    """
+
+    def __init__(self, frame_fn: Callable[[float], np.ndarray],
+                 name: str = "camera") -> None:
+        self.name = name
+        self.dimension = 0  # image-valued; dimension is not meaningful
+        self.frame_fn = frame_fn
+
+    def sample(self, true_time: float) -> np.ndarray:
+        """Capture one frame."""
+        frame = np.asarray(self.frame_fn(true_time), dtype=np.float32)
+        if frame.ndim not in (2, 3):
+            raise ConfigurationError(
+                f"{self.name}: frame must be 2-D or 3-D, got {frame.shape}"
+            )
+        return frame

@@ -1,0 +1,122 @@
+"""Simulated communication channels (Bluetooth / 802.11 point-to-point).
+
+A :class:`Channel` delays, jitters, drops, and therefore potentially
+reorders messages between an agent and the controller.  Delivery is pull
+based: the receiving side calls :meth:`Channel.poll` with the current true
+time and gets every message whose delivery time has passed, in *arrival*
+order — which, with jitter, is not send order.  The controller must
+therefore order data by payload timestamp, as the paper notes (§3.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TransportError
+from repro.streaming.records import Message, payload_size
+
+
+@dataclass
+class ChannelStats:
+    """Counters accumulated over a channel's lifetime."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def mean_latency(self) -> float:
+        """Mean delivered-message latency (0.0 when nothing delivered)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.mean(self.latencies))
+
+
+class Channel:
+    """Point-to-point lossy link with latency jitter.
+
+    Args:
+        name: label for diagnostics (e.g. ``"phone->controller"``).
+        base_latency: fixed one-way delay in seconds.
+        jitter: standard deviation of additional (truncated-normal) delay.
+        drop_probability: i.i.d. probability a message is lost.
+        bandwidth_bps: if set, adds a size/bandwidth serialization delay —
+            this is what makes downsampled frames cheaper to ship (Fig. 3).
+        rng: randomness source.
+    """
+
+    def __init__(self, name: str = "channel", *, base_latency: float = 0.01,
+                 jitter: float = 0.0, drop_probability: float = 0.0,
+                 bandwidth_bps: float | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if base_latency < 0 or jitter < 0:
+            raise ConfigurationError("latency and jitter must be >= 0")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop probability must be in [0, 1), got {drop_probability}"
+            )
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.name = name
+        self.base_latency = float(base_latency)
+        self.jitter = float(jitter)
+        self.drop_probability = float(drop_probability)
+        self.bandwidth_bps = bandwidth_bps
+        self.rng = rng or np.random.default_rng()
+        self.stats = ChannelStats()
+        self._in_flight: list[tuple[float, int, Message]] = []
+        self._sequence = 0
+
+    def transit_delay(self, size_bytes: int) -> float:
+        """Draw the one-way delay for a message of ``size_bytes``."""
+        delay = self.base_latency
+        if self.jitter:
+            delay += abs(float(self.rng.normal(0.0, self.jitter)))
+        if self.bandwidth_bps is not None:
+            delay += 8.0 * size_bytes / self.bandwidth_bps
+        return delay
+
+    def send(self, source: str, destination: str, payload, now: float) -> Message | None:
+        """Submit a payload at true time ``now``.
+
+        Returns the in-flight :class:`Message`, or ``None`` if dropped.
+        """
+        size = payload_size(payload)
+        self._sequence += 1
+        self.stats.sent += 1
+        self.stats.bytes_sent += size
+        if self.drop_probability and self.rng.random() < self.drop_probability:
+            self.stats.dropped += 1
+            return None
+        message = Message(source=source, destination=destination,
+                          payload=payload, sent_at=now, size_bytes=size,
+                          sequence=self._sequence)
+        delivery = now + self.transit_delay(size)
+        heapq.heappush(self._in_flight, (delivery, self._sequence, message))
+        return message
+
+    def poll(self, now: float) -> list[Message]:
+        """Deliver every message whose arrival time has passed, in arrival order."""
+        delivered: list[Message] = []
+        while self._in_flight and self._in_flight[0][0] <= now:
+            arrival, _, message = heapq.heappop(self._in_flight)
+            if arrival < message.sent_at:
+                raise TransportError(
+                    f"{self.name}: message would arrive before it was sent"
+                )
+            message.delivered_at = arrival
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += message.size_bytes
+            self.stats.latencies.append(message.latency)
+            delivered.append(message)
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        """Messages currently in flight."""
+        return len(self._in_flight)

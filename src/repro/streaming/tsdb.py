@@ -1,0 +1,150 @@
+"""In-memory time-series database.
+
+A statsd-flavoured store the controller writes aligned tuples into (paper
+§4.1: "store the data in a time-series database e.g. statsd"), supporting
+range queries and bucketed aggregation.  Points within a series are kept
+sorted by timestamp with bisection inserts, so out-of-order arrivals are
+handled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, StreamingError
+
+
+@dataclass(frozen=True)
+class Point:
+    """One stored observation."""
+
+    timestamp: float
+    value: tuple[float, ...]
+    label: int | None = None
+
+
+_AGGREGATES = ("mean", "min", "max", "count", "last")
+
+
+class TimeSeriesDatabase:
+    """Multi-series store keyed by series name."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, list[Point]] = {}
+        self._keys: dict[str, list[float]] = {}
+
+    # -- writes ---------------------------------------------------------
+    def insert(self, series: str, timestamp: float,
+               value: np.ndarray | float | tuple,
+               label: int | None = None) -> None:
+        """Insert one point, keeping the series time-ordered."""
+        vec = tuple(float(v) for v in np.atleast_1d(np.asarray(value, dtype=np.float64)))
+        point = Point(float(timestamp), vec, label)
+        points = self._series.setdefault(series, [])
+        keys = self._keys.setdefault(series, [])
+        index = bisect.bisect_right(keys, point.timestamp)
+        keys.insert(index, point.timestamp)
+        points.insert(index, point)
+
+    def insert_many(self, series: str, timestamps: np.ndarray,
+                    values: np.ndarray,
+                    labels: np.ndarray | None = None) -> None:
+        """Bulk insert a column of points."""
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != timestamps.shape[0]:
+            raise ConfigurationError("timestamps/values length mismatch")
+        for i, ts in enumerate(timestamps):
+            label = None if labels is None else int(labels[i])
+            self.insert(series, float(ts), values[i], label)
+
+    # -- reads ------------------------------------------------------------
+    def series_names(self) -> list[str]:
+        """All stored series names, sorted."""
+        return sorted(self._series)
+
+    def query(self, series: str, start: float = -np.inf,
+              end: float = np.inf) -> list[Point]:
+        """Points with ``start <= timestamp <= end`` in time order."""
+        points = self._series.get(series)
+        if points is None:
+            raise StreamingError(f"unknown series {series!r}")
+        keys = self._keys[series]
+        lo = bisect.bisect_left(keys, start)
+        hi = bisect.bisect_right(keys, end)
+        return points[lo:hi]
+
+    def as_arrays(self, series: str, start: float = -np.inf,
+                  end: float = np.inf
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Return (timestamps, values, labels) arrays for a range.
+
+        ``labels`` is None when no point in the range carries a label.
+        """
+        points = self.query(series, start, end)
+        if not points:
+            return (np.empty(0), np.empty((0, 0)), None)
+        timestamps = np.array([p.timestamp for p in points])
+        values = np.array([p.value for p in points])
+        if all(p.label is None for p in points):
+            return timestamps, values, None
+        labels = np.array([-1 if p.label is None else p.label for p in points])
+        return timestamps, values, labels
+
+    def aggregate(self, series: str, bucket: float, statistic: str = "mean",
+                  start: float | None = None, end: float | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Bucketed aggregate: (bucket starts, aggregated values).
+
+        Empty buckets are omitted.  ``statistic`` is one of mean / min /
+        max / count / last.
+        """
+        if statistic not in _AGGREGATES:
+            raise ConfigurationError(
+                f"unknown statistic {statistic!r}; choose from {_AGGREGATES}"
+            )
+        if bucket <= 0:
+            raise ConfigurationError("bucket width must be positive")
+        points = self.query(series,
+                            -np.inf if start is None else start,
+                            np.inf if end is None else end)
+        if not points:
+            return np.empty(0), np.empty((0, 0))
+        origin = points[0].timestamp if start is None else float(start)
+        grouped: dict[int, list[Point]] = {}
+        for point in points:
+            index = int((point.timestamp - origin) // bucket)
+            grouped.setdefault(index, []).append(point)
+        bucket_starts = []
+        outputs = []
+        for index in sorted(grouped):
+            members = grouped[index]
+            values = np.array([m.value for m in members])
+            bucket_starts.append(origin + index * bucket)
+            if statistic == "mean":
+                outputs.append(values.mean(axis=0))
+            elif statistic == "min":
+                outputs.append(values.min(axis=0))
+            elif statistic == "max":
+                outputs.append(values.max(axis=0))
+            elif statistic == "count":
+                outputs.append(np.array([float(len(members))]))
+            else:  # last
+                outputs.append(values[-1])
+        return np.array(bucket_starts), np.array(outputs)
+
+    def count(self, series: str) -> int:
+        """Number of points stored in ``series`` (0 if absent)."""
+        return len(self._series.get(series, ()))
+
+    def clear(self, series: str | None = None) -> None:
+        """Drop one series, or everything when ``series`` is None."""
+        if series is None:
+            self._series.clear()
+            self._keys.clear()
+        else:
+            self._series.pop(series, None)
+            self._keys.pop(series, None)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the DarNet reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_driving_dataset():
+    """A small paired dataset shared across core tests (session-scoped)."""
+    from repro.datasets import generate_driving_dataset
+
+    return generate_driving_dataset(
+        90, num_drivers=2, rng=np.random.default_rng(777))
+
+
+@pytest.fixture(scope="session")
+def tiny_alternative_dataset():
+    """A small 18-class dataset shared across privacy tests."""
+    from repro.datasets import generate_alternative_dataset
+
+    return generate_alternative_dataset(
+        4, num_drivers=2, rng=np.random.default_rng(778))

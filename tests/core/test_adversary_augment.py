@@ -1,0 +1,130 @@
+"""Privacy adversary study and image augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CnnConfig,
+    DriverIdentificationAdversary,
+    PrivacyLevel,
+    run_privacy_adversary_study,
+)
+from repro.core.adversary import AdversaryResult
+from repro.datasets import AugmentConfig, augment_batch, augmented_copies
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+FAST = CnnConfig(epochs=2, width=0.5)
+
+
+def test_adversary_requires_two_drivers():
+    with pytest.raises(ConfigurationError):
+        DriverIdentificationAdversary(1, None)
+
+
+def test_adversary_result_privacy_margin():
+    private = AdversaryResult(level=PrivacyLevel.HIGH, accuracy=0.5,
+                              chance=0.5)
+    assert private.privacy_margin == pytest.approx(1.0)
+    leaky = AdversaryResult(level=None, accuracy=1.0, chance=0.5)
+    assert leaky.privacy_margin == pytest.approx(0.0)
+    below_chance = AdversaryResult(level=PrivacyLevel.HIGH, accuracy=0.3,
+                                   chance=0.5)
+    assert below_chance.privacy_margin == 1.0  # clipped
+
+
+def test_adversary_identifies_drivers_on_clean_frames(
+        tiny_alternative_dataset):
+    """On clean frames, driver identity is learnable above chance."""
+    ds = tiny_alternative_dataset
+    adversary = DriverIdentificationAdversary(
+        2, None, config=CnnConfig(epochs=4, width=0.5),
+        rng=np.random.default_rng(0))
+    adversary.fit(ds.images, ds.drivers)
+    result = adversary.evaluate(ds.images, ds.drivers)
+    # At toy scale the adversary must at least match the majority-class
+    # floor; the strong separation check runs at bench scale.
+    assert result.accuracy >= result.chance - 1e-9
+
+
+def test_adversary_study_covers_levels(tiny_alternative_dataset):
+    ds = tiny_alternative_dataset
+    results = run_privacy_adversary_study(
+        ds.images, ds.drivers, config=FAST,
+        levels=(None, PrivacyLevel.HIGH), rng=np.random.default_rng(1))
+    assert set(results) == {"clean", "high"}
+    for result in results.values():
+        assert 0.0 <= result.accuracy <= 1.0
+        assert 0.0 < result.chance < 1.0
+
+
+def test_adversary_observes_distorted_frames(tiny_alternative_dataset):
+    ds = tiny_alternative_dataset
+    adversary = DriverIdentificationAdversary(
+        2, PrivacyLevel.HIGH, config=FAST, rng=np.random.default_rng(2))
+    observed = adversary._observed(ds.images[:2])
+    # Restored frames keep NCHW shape but carry only 16x16 information.
+    assert observed.shape == ds.images[:2].shape
+    assert len(np.unique(observed[0, 0])) <= 16 * 16
+
+
+# -- augmentation ------------------------------------------------------------
+
+def test_augment_batch_preserves_shape_and_range(rng):
+    images = rng.random((5, 1, 16, 16)).astype(np.float32)
+    out = augment_batch(images, rng=rng)
+    assert out.shape == images.shape
+    assert out.min() >= 0.0 and out.max() <= 1.0
+    assert not np.allclose(out, images)
+
+
+def test_augment_batch_rejects_non_nchw(rng):
+    with pytest.raises(ShapeError):
+        augment_batch(rng.random((5, 16, 16)), rng=rng)
+
+
+def test_augment_identity_config(rng):
+    """Zero-strength augmentation is a no-op."""
+    images = rng.random((3, 1, 8, 8)).astype(np.float32)
+    config = AugmentConfig(brightness=0.0, contrast=0.0, max_shift=0,
+                           noise_std=0.0)
+    np.testing.assert_allclose(augment_batch(images, config=config, rng=rng),
+                               images, atol=1e-6)
+
+
+def test_augment_config_validation():
+    with pytest.raises(ConfigurationError):
+        AugmentConfig(max_shift=-1)
+    with pytest.raises(ConfigurationError):
+        AugmentConfig(noise_std=-0.1)
+
+
+def test_augmented_copies_expands_dataset(rng):
+    images = rng.random((4, 1, 8, 8)).astype(np.float32)
+    labels = np.array([0, 1, 2, 3])
+    out_images, out_labels = augmented_copies(images, labels, 2, rng=rng)
+    assert out_images.shape[0] == 12
+    np.testing.assert_array_equal(np.sort(np.unique(out_labels)),
+                                  [0, 1, 2, 3])
+    # Label multiset preserved: each label appears 3x.
+    assert all(np.sum(out_labels == v) == 3 for v in range(4))
+
+
+def test_augmented_copies_zero(rng):
+    images = rng.random((3, 1, 8, 8)).astype(np.float32)
+    labels = np.arange(3)
+    out_images, out_labels = augmented_copies(images, labels, 0, rng=rng)
+    assert out_images.shape[0] == 3
+
+
+def test_augmented_copies_validates(rng):
+    with pytest.raises(ConfigurationError):
+        augmented_copies(rng.random((2, 1, 4, 4)), np.arange(2), -1, rng=rng)
+
+
+def test_shift_replicates_edges(rng):
+    from repro.datasets.augment import _shift
+    image = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+    shifted = _shift(image.copy(), 1, 0)
+    # Top row replicated after shifting down by one.
+    np.testing.assert_array_equal(shifted[0, 0], shifted[0, 1])

@@ -1,0 +1,171 @@
+"""Alerting/fleet monitoring and whole-ensemble persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Alert,
+    AlertPolicy,
+    CnnConfig,
+    DarNetEnsemble,
+    DistractionAlerter,
+    FleetMonitor,
+    RnnConfig,
+    load_ensemble,
+    save_ensemble,
+)
+from repro.core.darnet import TimestepClassification
+from repro.datasets import DrivingBehavior
+from repro.exceptions import ConfigurationError, SerializationError
+
+
+def _verdict(t: float, behavior: DrivingBehavior,
+             confidence: float = 0.8) -> TimestepClassification:
+    probs = np.full(6, (1.0 - confidence) / 5)
+    probs[int(behavior)] = confidence
+    return TimestepClassification(timestamp=t, predicted=behavior,
+                                  probabilities=probs, true_label=None)
+
+
+def _stream(spec):
+    """spec: list of (behavior, count) run-length encoded at 4 Hz."""
+    verdicts = []
+    t = 0.0
+    for behavior, count in spec:
+        for _ in range(count):
+            verdicts.append(_verdict(t, behavior))
+            t += 0.25
+    return verdicts
+
+
+# -- alerter -----------------------------------------------------------------
+
+def test_alert_raised_after_consecutive_distraction():
+    alerter = DistractionAlerter(AlertPolicy(consecutive_to_raise=3,
+                                             consecutive_to_clear=2))
+    raised = [alerter.observe(v) for v in _stream(
+        [(DrivingBehavior.NORMAL, 4), (DrivingBehavior.TEXTING, 5)])]
+    alerts = [a for a in raised if a is not None]
+    assert len(alerts) == 1
+    assert alerts[0].behavior == DrivingBehavior.TEXTING
+    assert alerter.active_alert is not None
+
+
+def test_alert_not_raised_for_blips():
+    """Isolated single distracted verdicts never alert (debouncing)."""
+    alerter = DistractionAlerter(AlertPolicy(consecutive_to_raise=3))
+    stream = _stream([(DrivingBehavior.NORMAL, 3),
+                      (DrivingBehavior.TALKING, 1),
+                      (DrivingBehavior.NORMAL, 3),
+                      (DrivingBehavior.TALKING, 2),
+                      (DrivingBehavior.NORMAL, 3)])
+    raised = [alerter.observe(v) for v in stream]
+    assert all(a is None for a in raised)
+    assert alerter.finish() == []
+
+
+def test_alert_clears_after_normal_run():
+    policy = AlertPolicy(consecutive_to_raise=2, consecutive_to_clear=3)
+    alerter = DistractionAlerter(policy)
+    for verdict in _stream([(DrivingBehavior.TEXTING, 4),
+                            (DrivingBehavior.NORMAL, 3)]):
+        alerter.observe(verdict)
+    assert alerter.active_alert is None
+    assert len(alerter.alerts) == 1
+    alert = alerter.alerts[0]
+    assert alert.duration is not None and alert.duration > 0
+
+
+def test_alert_low_confidence_ignored():
+    alerter = DistractionAlerter(AlertPolicy(consecutive_to_raise=2,
+                                             min_confidence=0.9))
+    stream = [_verdict(i * 0.25, DrivingBehavior.TEXTING, confidence=0.5)
+              for i in range(10)]
+    assert all(alerter.observe(v) is None for v in stream)
+
+
+def test_alert_majority_behavior():
+    alerter = DistractionAlerter(AlertPolicy(consecutive_to_raise=4))
+    stream = _stream([(DrivingBehavior.TALKING, 1),
+                      (DrivingBehavior.TEXTING, 3)])
+    raised = [a for a in (alerter.observe(v) for v in stream) if a]
+    assert raised[0].behavior == DrivingBehavior.TEXTING
+
+
+def test_alert_policy_validation():
+    with pytest.raises(ConfigurationError):
+        AlertPolicy(consecutive_to_raise=0)
+    with pytest.raises(ConfigurationError):
+        AlertPolicy(min_confidence=1.5)
+
+
+def test_finish_closes_open_alert():
+    alerter = DistractionAlerter(AlertPolicy(consecutive_to_raise=2))
+    for verdict in _stream([(DrivingBehavior.REACHING, 5)]):
+        alerter.observe(verdict)
+    alerts = alerter.finish(end_time=1.0)
+    assert len(alerts) == 1
+    assert alerts[0].end_time == 1.0
+
+
+# -- fleet monitor ---------------------------------------------------------
+
+def test_fleet_monitor_aggregates_and_ranks():
+    monitor = FleetMonitor(AlertPolicy(consecutive_to_raise=2,
+                                       consecutive_to_clear=2))
+    risky = _stream([(DrivingBehavior.TEXTING, 8),
+                     (DrivingBehavior.NORMAL, 4)])
+    safe = _stream([(DrivingBehavior.NORMAL, 12)])
+    monitor.ingest_session(1, risky)
+    monitor.ingest_session(2, safe)
+    assert monitor.report(1).alerts == 1
+    assert monitor.report(1).distraction_rate > 0.5
+    assert monitor.report(2).distraction_rate == 0.0
+    ranking = monitor.ranking()
+    assert ranking[0].driver_id == 1
+
+
+def test_fleet_monitor_accumulates_across_sessions():
+    monitor = FleetMonitor()
+    stream = _stream([(DrivingBehavior.TALKING, 6)])
+    monitor.ingest_session(7, stream)
+    monitor.ingest_session(7, stream)
+    assert monitor.report(7).verdicts == 12
+    assert monitor.report(7).by_behavior["Talking"] == 12
+
+
+# -- ensemble persistence ------------------------------------------------------
+
+FAST_CNN = CnnConfig(epochs=1, width=0.5)
+FAST_RNN = RnnConfig(hidden_units=8, epochs=1)
+
+
+@pytest.mark.parametrize("architecture", ["cnn", "cnn+rnn", "cnn+svm"])
+def test_ensemble_save_load_roundtrip(tmp_path, tiny_driving_dataset,
+                                      architecture):
+    train, evaluation = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    ensemble = DarNetEnsemble(architecture, cnn_config=FAST_CNN,
+                              rnn_config=FAST_RNN,
+                              rng=np.random.default_rng(1))
+    ensemble.fit(train)
+    expected = ensemble.predict_proba(evaluation)
+    directory = os.path.join(tmp_path, architecture)
+    save_ensemble(ensemble, directory)
+    restored = load_ensemble(directory, rng=np.random.default_rng(2))
+    actual = restored.predict_proba(evaluation)
+    np.testing.assert_allclose(actual, expected, atol=1e-5)
+
+
+def test_save_untrained_ensemble_rejected(tmp_path):
+    ensemble = DarNetEnsemble("cnn", cnn_config=FAST_CNN,
+                              rng=np.random.default_rng(0))
+    with pytest.raises(SerializationError):
+        save_ensemble(ensemble, os.path.join(tmp_path, "x"))
+
+
+def test_load_missing_manifest(tmp_path):
+    with pytest.raises(SerializationError):
+        load_ensemble(os.path.join(tmp_path, "nothing"))

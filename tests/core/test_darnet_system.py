@@ -1,0 +1,104 @@
+"""Drive scripts, the full collection drive, and per-timestep classification."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CnnConfig,
+    DarNetEnsemble,
+    DarNetSystem,
+    DriveScript,
+    PrivacyLevel,
+    RnnConfig,
+    run_collection_drive,
+)
+from repro.datasets import DrivingBehavior
+from repro.exceptions import ConfigurationError
+from repro.streaming import SessionConfig
+
+
+def test_drive_script_standard_layout():
+    script = DriveScript.standard(segment_seconds=15.0, gap_seconds=2.0)
+    assert len(script.segments) == 6
+    starts = [s for s, _, _ in script.segments]
+    assert starts == sorted(starts)
+    assert script.duration == pytest.approx(6 * 15.0 + 5 * 2.0)
+
+
+def test_drive_script_repetitions():
+    script = DriveScript.standard([DrivingBehavior.TALKING],
+                                  segment_seconds=5.0, repetitions=3)
+    assert len(script.segments) == 3
+    assert all(behavior == DrivingBehavior.TALKING
+               for _, _, behavior in script.segments)
+
+
+def test_empty_script_rejected(rng):
+    with pytest.raises(ConfigurationError):
+        run_collection_drive(DriveScript([]), rng=rng)
+
+
+@pytest.fixture(scope="module")
+def short_drive():
+    script = DriveScript.standard(
+        [DrivingBehavior.NORMAL, DrivingBehavior.TEXTING],
+        segment_seconds=6.0, gap_seconds=1.0)
+    return run_collection_drive(script, rng=np.random.default_rng(21))
+
+
+def test_drive_produces_labelled_data(short_drive):
+    labels = set(short_drive.imu_labels.tolist())
+    assert int(DrivingBehavior.TEXTING) in labels
+    assert int(DrivingBehavior.NORMAL) in labels
+
+
+def test_drive_frames_match_script(short_drive):
+    frame_labels = {frame.label for frame in short_drive.frames}
+    assert int(DrivingBehavior.TEXTING) in frame_labels
+
+
+def test_drive_with_privacy_distorts_frames():
+    script = DriveScript.standard([DrivingBehavior.NORMAL],
+                                  segment_seconds=3.0)
+    result = run_collection_drive(script, privacy=PrivacyLevel.HIGH,
+                                  rng=np.random.default_rng(22))
+    assert result.frames
+    for frame in result.frames:
+        assert frame.image.shape == (16, 16)
+        assert frame.privacy_level == "high"
+
+
+def test_darnet_system_classifies_session(short_drive, tiny_driving_dataset):
+    train, _ = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    ensemble = DarNetEnsemble("cnn+rnn", cnn_config=CnnConfig(epochs=1,
+                                                              width=0.5),
+                              rnn_config=RnnConfig(hidden_units=8, epochs=1),
+                              rng=np.random.default_rng(30))
+    ensemble.fit(train)
+    system = DarNetSystem(ensemble)
+    verdicts = system.classify_session(short_drive)
+    assert len(verdicts) == short_drive.imu.shape[0] - 20 + 1
+    for verdict in verdicts[:5]:
+        assert isinstance(verdict.predicted, DrivingBehavior)
+        assert verdict.probabilities.shape == (6,)
+        assert abs(float(verdict.probabilities.sum()) - 1.0) < 1e-5
+    # Timestamps are ordered grid instants.
+    times = [v.timestamp for v in verdicts]
+    assert times == sorted(times)
+
+
+def test_darnet_system_empty_session(tiny_driving_dataset):
+    """A session shorter than one window yields no verdicts."""
+    train, _ = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    ensemble = DarNetEnsemble("cnn", cnn_config=CnnConfig(epochs=1,
+                                                          width=0.5),
+                              rng=np.random.default_rng(31))
+    ensemble.fit(train)
+    script = DriveScript.standard([DrivingBehavior.NORMAL],
+                                  segment_seconds=2.0)
+    result = run_collection_drive(
+        script, config=SessionConfig(), rng=np.random.default_rng(32))
+    system = DarNetSystem(ensemble, window_steps=200)
+    assert system.classify_session(result) == []

@@ -1,0 +1,58 @@
+"""Building training datasets from streamed collection drives."""
+
+import numpy as np
+import pytest
+
+from repro.core import DriveScript, dataset_from_drives, run_collection_drive
+from repro.datasets import DrivingBehavior
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def two_drives():
+    script = DriveScript.standard(
+        [DrivingBehavior.NORMAL, DrivingBehavior.TALKING],
+        segment_seconds=7.0, gap_seconds=1.0)
+    return [
+        run_collection_drive(script, driver_id=d,
+                             rng=np.random.default_rng(40 + d))
+        for d in range(2)
+    ]
+
+
+def test_dataset_pairs_windows_with_frames(two_drives):
+    dataset = dataset_from_drives(two_drives)
+    assert len(dataset) > 10
+    assert dataset.images.shape[1:] == (1, 64, 64)
+    assert dataset.imu.shape[1:] == (20, 12)
+    assert set(np.unique(dataset.drivers)) == {0, 1}
+
+
+def test_dataset_labels_come_from_script(two_drives):
+    dataset = dataset_from_drives(two_drives)
+    labels = set(np.unique(dataset.labels))
+    assert labels <= {int(DrivingBehavior.NORMAL),
+                      int(DrivingBehavior.TALKING)}
+    assert int(DrivingBehavior.TALKING) in labels
+
+
+def test_dataset_stride_controls_density(two_drives):
+    dense = dataset_from_drives(two_drives, stride=1)
+    sparse = dataset_from_drives(two_drives, stride=4)
+    assert len(dense) > 2 * len(sparse)
+
+
+def test_dataset_from_no_drives():
+    with pytest.raises(ConfigurationError):
+        dataset_from_drives([])
+
+
+def test_dataset_window_frames_are_near_window_end(two_drives):
+    """The paired frame timestamp must be close to the window end time."""
+    result = two_drives[0]
+    dataset = dataset_from_drives([result], stride=2)
+    window_times = result.grid[19::2][:np.sum(dataset.drivers == 0)]
+    frame_times = np.array([f.timestamp for f in result.frames])
+    for t in window_times[:5]:
+        gap = np.min(np.abs(frame_times - t))
+        assert gap < 0.5  # frames arrive at 5 fps

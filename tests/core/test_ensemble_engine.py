@@ -1,0 +1,170 @@
+"""DarNet ensemble, the SVM IMU pipeline, and the analytics engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticsEngine,
+    CnnConfig,
+    DarNetEnsemble,
+    RnnConfig,
+    SvmImuClassifier,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+
+
+FAST_CNN = CnnConfig(epochs=2, width=0.5)
+FAST_RNN = RnnConfig(hidden_units=16, epochs=3)
+
+
+@pytest.fixture(scope="module")
+def split_dataset():
+    from repro.datasets import generate_driving_dataset
+    ds = generate_driving_dataset(90, num_drivers=2,
+                                  rng=np.random.default_rng(777))
+    return ds.train_eval_split(rng=np.random.default_rng(0))
+
+
+def test_svm_imu_classifier_pipeline(split_dataset):
+    train, evaluation = split_dataset
+    svm = SvmImuClassifier(rng=np.random.default_rng(1))
+    svm.fit(train.imu, train.imu_labels)
+    probs = svm.predict_proba(evaluation.imu)
+    assert probs.shape == (len(evaluation), 3)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+    assert svm.evaluate(evaluation.imu, evaluation.imu_labels) > 0.5
+
+
+def test_svm_imu_not_fitted(rng):
+    with pytest.raises(NotFittedError):
+        SvmImuClassifier(rng=rng).predict_proba(
+            np.zeros((2, 20, 12), dtype=np.float32))
+
+
+def test_ensemble_rejects_unknown_architecture(rng):
+    with pytest.raises(ConfigurationError):
+        DarNetEnsemble("cnn+tree", rng=rng)
+
+
+def test_ensemble_not_fitted(rng, split_dataset):
+    _, evaluation = split_dataset
+    ensemble = DarNetEnsemble("cnn", cnn_config=FAST_CNN, rng=rng)
+    with pytest.raises(NotFittedError):
+        ensemble.predict(evaluation)
+
+
+@pytest.fixture(scope="module")
+def trained_ensembles(split_dataset):
+    train, _ = split_dataset
+    rng = np.random.default_rng(5)
+    cnn_only = DarNetEnsemble("cnn", cnn_config=FAST_CNN, rng=rng)
+    cnn_only.fit(train)
+    with_rnn = DarNetEnsemble("cnn+rnn", cnn=cnn_only.cnn,
+                              rnn_config=FAST_RNN, rng=rng)
+    with_rnn.fit(train, train_cnn=False)
+    with_svm = DarNetEnsemble("cnn+svm", cnn=cnn_only.cnn, rng=rng)
+    with_svm.fit(train, train_cnn=False)
+    return {"cnn": cnn_only, "cnn+rnn": with_rnn, "cnn+svm": with_svm}
+
+
+def test_ensemble_evaluate_structure(trained_ensembles, split_dataset):
+    _, evaluation = split_dataset
+    for arch, ensemble in trained_ensembles.items():
+        result = ensemble.evaluate(evaluation)
+        assert result.architecture == arch
+        assert 0.0 <= result.top1 <= 1.0
+        assert result.confusion.shape == (6, 6)
+        assert result.confusion.sum() == len(evaluation)
+        assert result.probabilities.shape == (len(evaluation), 6)
+        if arch == "cnn":
+            assert result.imu_top1 is None
+        else:
+            assert result.imu_top1 is not None
+
+
+def test_ensemble_probabilities_normalized(trained_ensembles, split_dataset):
+    _, evaluation = split_dataset
+    probs = trained_ensembles["cnn+rnn"].predict_proba(evaluation)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-6)
+
+
+def test_cnn_shared_across_architectures(trained_ensembles):
+    assert trained_ensembles["cnn+rnn"].cnn is trained_ensembles["cnn"].cnn
+
+
+# -- analytics engine ----------------------------------------------------------
+
+class _StaticModel:
+    """A deterministic stand-in modality model."""
+
+    def __init__(self, probs: np.ndarray) -> None:
+        self.probs = probs
+
+    def predict_proba(self, data):
+        return np.tile(self.probs, (len(data), 1))
+
+    def predict(self, data):
+        return np.full(len(data), int(np.argmax(self.probs)))
+
+
+def test_engine_single_stream_passthrough():
+    engine = AnalyticsEngine()
+    engine.register("frames", _StaticModel(np.array([0.1, 0.9])), 2)
+    out = engine.predict_proba({"frames": np.zeros((3, 1))})
+    np.testing.assert_allclose(out, [[0.1, 0.9]] * 3)
+
+
+def test_engine_two_streams_with_calibration(rng):
+    engine = AnalyticsEngine()
+    engine.register("frames", _StaticModel(np.array([0.2, 0.8])), 2)
+    engine.register("imu", _StaticModel(np.array([0.7, 0.3])), 2)
+    data = {"frames": np.zeros((50, 1)), "imu": np.zeros((50, 1))}
+    labels = rng.integers(0, 2, 50)
+    engine.calibrate(data, labels)
+    out = engine.predict_proba(data)
+    assert out.shape == (50, 2)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_engine_rejects_duplicate_stream():
+    engine = AnalyticsEngine()
+    engine.register("a", _StaticModel(np.ones(2) / 2), 2)
+    with pytest.raises(ConfigurationError):
+        engine.register("a", _StaticModel(np.ones(2) / 2), 2)
+
+
+def test_engine_limits_to_two_streams():
+    engine = AnalyticsEngine()
+    engine.register("a", _StaticModel(np.ones(2) / 2), 2)
+    engine.register("b", _StaticModel(np.ones(2) / 2), 2)
+    with pytest.raises(ConfigurationError):
+        engine.register("c", _StaticModel(np.ones(2) / 2), 2)
+
+
+def test_engine_unregister_allows_replacement():
+    engine = AnalyticsEngine()
+    engine.register("a", _StaticModel(np.ones(2) / 2), 2)
+    engine.unregister("a")
+    assert engine.streams == []
+    engine.register("a2", _StaticModel(np.ones(2) / 2), 2)
+    assert engine.streams == ["a2"]
+
+
+def test_engine_requires_calibration_for_two_streams():
+    engine = AnalyticsEngine()
+    engine.register("a", _StaticModel(np.ones(2) / 2), 2)
+    engine.register("b", _StaticModel(np.ones(2) / 2), 2)
+    with pytest.raises(NotFittedError):
+        engine.predict_proba({"a": np.zeros((1, 1)), "b": np.zeros((1, 1))})
+
+
+def test_engine_missing_stream_data():
+    engine = AnalyticsEngine()
+    engine.register("a", _StaticModel(np.ones(2) / 2), 2)
+    with pytest.raises(ConfigurationError):
+        engine.predict_proba({"other": np.zeros((1, 1))})
+
+
+def test_engine_no_streams():
+    with pytest.raises(ConfigurationError):
+        AnalyticsEngine().predict_proba({})

@@ -1,0 +1,134 @@
+"""MicroInceptionV3 architecture and the frame classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CnnConfig,
+    DriverFrameCNN,
+    build_micro_inception,
+    inception_a,
+    inception_b,
+    replace_classifier,
+)
+from repro.core.inception import (
+    conv_bn_relu,
+    inception_a_channels,
+    inception_b_channels,
+)
+from repro.exceptions import ConfigurationError
+from repro.nn import Dense, Sequential
+
+
+def test_micro_inception_forward_shape(rng):
+    net = build_micro_inception(6, width=0.5, rng=rng)
+    out = net.forward(rng.normal(size=(2, 1, 64, 64)).astype(np.float32))
+    assert out.shape == (2, 6)
+
+
+def test_micro_inception_resolution_agnostic(rng):
+    """Global average pooling makes the head size-independent."""
+    net = build_micro_inception(4, width=0.5, rng=rng)
+    for edge in (32, 48, 64):
+        out = net.forward(rng.normal(size=(1, 1, edge, edge)).astype(np.float32))
+        assert out.shape == (1, 4)
+
+
+def test_micro_inception_width_scales_params(rng):
+    small = build_micro_inception(6, width=0.5, rng=rng)
+    large = build_micro_inception(6, width=1.0, rng=rng)
+    assert large.num_parameters() > 2 * small.num_parameters()
+
+
+def test_micro_inception_rejects_one_class(rng):
+    with pytest.raises(ConfigurationError):
+        build_micro_inception(1, rng=rng)
+
+
+def test_inception_a_channel_arithmetic(rng):
+    width = 1.0
+    block = inception_a(24, width, rng, "a")
+    out = block.forward(rng.normal(size=(1, 24, 8, 8)).astype(np.float32))
+    assert out.shape[1] == inception_a_channels(width)
+
+
+def test_inception_b_channel_arithmetic(rng):
+    width = 1.0
+    block = inception_b(48, width, rng, "b")
+    out = block.forward(rng.normal(size=(1, 48, 4, 4)).astype(np.float32))
+    assert out.shape[1] == inception_b_channels(width)
+
+
+def test_inception_block_backward_runs(rng):
+    block = inception_a(8, 0.5, rng, "a")
+    x = rng.normal(size=(2, 8, 8, 8)).astype(np.float32)
+    out = block.forward(x)
+    dx = block.backward(np.ones_like(out))
+    assert dx.shape == x.shape
+
+
+def test_conv_bn_relu_unit(rng):
+    unit = conv_bn_relu(3, 8, 3, rng=rng, name="u")
+    out = unit.forward(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+    assert out.shape == (2, 8, 8, 8)
+    assert out.min() >= 0.0  # ReLU output
+    # Conv inside is bias-free (batch-norm supplies the shift).
+    assert unit.layers[0].bias is None
+
+
+def test_replace_classifier_swaps_head(rng):
+    net = build_micro_inception(8, width=0.5, rng=rng)
+    before = [p.value.copy() for p in net.parameters()]
+    replace_classifier(net, 3, rng=rng)
+    out = net.forward(rng.normal(size=(1, 1, 32, 32)).astype(np.float32))
+    assert out.shape == (1, 3)
+    after = list(net.parameters())
+    # Every non-head parameter is untouched.
+    for old, new in zip(before[:-2], after[:-2]):
+        np.testing.assert_array_equal(old, new.value)
+
+
+def test_replace_classifier_requires_dense(rng):
+    with pytest.raises(ConfigurationError):
+        replace_classifier(Sequential([]), 3, rng=rng)
+
+
+def test_cnn_trains_and_predicts(rng, tiny_driving_dataset):
+    train, evaluation = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    cnn = DriverFrameCNN(CnnConfig(epochs=2, width=0.5), rng=rng)
+    cnn.fit(train.images, train.labels)
+    probs = cnn.predict_proba(evaluation.images)
+    assert probs.shape == (len(evaluation), 6)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+    assert 0.0 <= cnn.evaluate(evaluation.images, evaluation.labels) <= 1.0
+
+
+def test_cnn_pretrain_swaps_head_back(rng):
+    cnn = DriverFrameCNN(
+        CnnConfig(epochs=1, width=0.5, pretrain_epochs=1,
+                  pretrain_samples_per_class=4, image_size=32),
+        rng=rng)
+    cnn.pretrain()
+    assert cnn.pretrained
+    head = cnn.network.layers[-1]
+    assert isinstance(head, Dense)
+    assert head.out_features == 6
+
+
+def test_cnn_pretraining_improves_start(rng):
+    """Pretrained features beat random init after one fine-tune epoch."""
+    from repro.datasets import generate_driving_dataset
+    ds = generate_driving_dataset(80, num_drivers=1,
+                                  rng=np.random.default_rng(2))
+    def one_epoch_loss(pretrain):
+        cnn = DriverFrameCNN(
+            CnnConfig(epochs=1, width=0.5, pretrain_epochs=2,
+                      pretrain_samples_per_class=10),
+            rng=np.random.default_rng(0))
+        if pretrain:
+            cnn.pretrain()
+        cnn.fit(ds.images, ds.labels)
+        return cnn.model.history.loss[-1]
+    # Not a strict inequality in every seed, so allow generous slack:
+    assert one_epoch_loss(True) < one_epoch_loss(False) + 0.5

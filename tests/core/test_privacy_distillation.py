@@ -1,0 +1,193 @@
+"""Distortion module and dCNN distillation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CnnConfig,
+    DenoisingCNN,
+    DistillationConfig,
+    DistortionModule,
+    DriverFrameCNN,
+    PrivacyLevel,
+    distort_restore,
+    nearest_neighbor_resize,
+    restore_size,
+    train_privacy_suite,
+)
+from repro.core.privacy import PAPER_EDGE_DIVISORS
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.streaming.records import FrameRecord
+
+
+def test_levels_ordered_by_severity():
+    edges = [level.target_edge(64) for level in PrivacyLevel]
+    assert edges == sorted(edges, reverse=True)
+    assert PrivacyLevel.LOW.target_edge(64) == 32
+    assert PrivacyLevel.MEDIUM.target_edge(64) == 21
+    assert PrivacyLevel.HIGH.target_edge(64) == 16
+
+
+def test_paper_divisors_preserved():
+    assert PAPER_EDGE_DIVISORS[PrivacyLevel.LOW] == 3
+    assert PAPER_EDGE_DIVISORS[PrivacyLevel.HIGH] == 12
+    # Paper: 300 -> 100 / 50 / 25.
+    for level in PrivacyLevel:
+        assert 300 // PAPER_EDGE_DIVISORS[level] in (100, 50, 25)
+
+
+def test_data_reduction_factors():
+    assert PrivacyLevel.LOW.data_reduction(64) == pytest.approx(4.0)
+    assert PrivacyLevel.HIGH.data_reduction(64) == pytest.approx(16.0)
+
+
+def test_model_names():
+    assert PrivacyLevel.LOW.model_name == "dCNN-L"
+    assert PrivacyLevel.HIGH.model_name == "dCNN-H"
+
+
+def test_nearest_neighbor_downsample_exact():
+    image = np.arange(16, dtype=np.float32).reshape(4, 4)
+    small = nearest_neighbor_resize(image, 2)
+    np.testing.assert_array_equal(small, [[0, 2], [8, 10]])
+
+
+def test_nearest_neighbor_upsample_repeats():
+    image = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+    big = nearest_neighbor_resize(image, 4)
+    np.testing.assert_array_equal(big[0], [1, 1, 2, 2])
+    np.testing.assert_array_equal(big[3], [3, 3, 4, 4])
+
+
+def test_nearest_neighbor_validates():
+    with pytest.raises(ConfigurationError):
+        nearest_neighbor_resize(np.zeros((4, 4)), 0)
+    with pytest.raises(ShapeError):
+        nearest_neighbor_resize(np.zeros((2, 4, 6)), 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 32), st.integers(2, 32))
+def test_resize_roundtrip_shape(in_edge, out_edge):
+    image = np.random.default_rng(0).random((in_edge, in_edge)).astype(np.float32)
+    resized = nearest_neighbor_resize(image, out_edge)
+    assert resized.shape == (out_edge, out_edge)
+    # Every output pixel is an input pixel (nearest neighbour property).
+    assert set(np.unique(resized)) <= set(np.unique(image))
+
+
+def test_distortion_module_passthrough(rng):
+    module = DistortionModule(None)
+    image = rng.random((8, 8)).astype(np.float32)
+    np.testing.assert_array_equal(module.distort(image), image)
+
+
+def test_distortion_module_batch(rng):
+    module = DistortionModule(PrivacyLevel.HIGH)
+    batch = rng.random((3, 1, 64, 64)).astype(np.float32)
+    out = module.distort_batch(batch)
+    assert out.shape == (3, 1, 16, 16)
+
+
+def test_distort_frame_tags_level(rng):
+    module = DistortionModule(PrivacyLevel.MEDIUM)
+    frame = FrameRecord("cam", 1.0, rng.random((64, 64)).astype(np.float32),
+                        label=3)
+    distorted = module.distort_frame(frame)
+    assert distorted.privacy_level == "medium"
+    assert distorted.label == 3
+    assert distorted.image.shape == (21, 21)
+    assert distorted.nbytes < frame.nbytes
+
+
+def test_restore_size_batch(rng):
+    small = rng.random((2, 1, 16, 16)).astype(np.float32)
+    restored = restore_size(small, 64)
+    assert restored.shape == (2, 1, 64, 64)
+
+
+def test_distort_restore_loses_information(rng):
+    images = rng.random((2, 1, 64, 64)).astype(np.float32)
+    out = distort_restore(images, PrivacyLevel.HIGH)
+    assert out.shape == images.shape
+    # Restored image has at most 16x16 distinct values per channel.
+    assert len(np.unique(out[0, 0])) <= 16 * 16
+    assert not np.allclose(out, images)
+
+
+def test_distort_restore_none_level(rng):
+    images = rng.random((1, 1, 32, 32)).astype(np.float32)
+    np.testing.assert_array_equal(distort_restore(images, None), images)
+
+
+# -- distillation -----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_teacher():
+    from repro.datasets import generate_alternative_dataset
+    rng = np.random.default_rng(50)
+    ds = generate_alternative_dataset(3, num_drivers=2, rng=rng)
+    teacher = DriverFrameCNN(CnnConfig(num_classes=18, epochs=2, width=0.5),
+                             rng=rng)
+    teacher.fit(ds.images, ds.labels)
+    return teacher, ds
+
+
+def test_student_initialized_from_teacher(tiny_teacher):
+    teacher, _ = tiny_teacher
+    student = DenoisingCNN(teacher, PrivacyLevel.LOW,
+                           rng=np.random.default_rng(0))
+    for t_param, s_param in zip(teacher.network.parameters(),
+                                student.network.parameters()):
+        np.testing.assert_array_equal(t_param.value, s_param.value)
+
+
+def test_student_random_init_differs(tiny_teacher):
+    teacher, _ = tiny_teacher
+    config = DistillationConfig(init_from_teacher=False)
+    student = DenoisingCNN(teacher, PrivacyLevel.LOW, config=config,
+                           rng=np.random.default_rng(0))
+    t_first = next(iter(teacher.network.parameters())).value
+    s_first = next(iter(student.network.parameters())).value
+    assert not np.allclose(t_first, s_first)
+
+
+def test_distillation_reduces_l2_loss(tiny_teacher):
+    teacher, ds = tiny_teacher
+    config = DistillationConfig(epochs=4)
+    student = DenoisingCNN(teacher, PrivacyLevel.LOW, config=config,
+                           rng=np.random.default_rng(1))
+    student.distill(ds.images)
+    history = student.model.history
+    assert history.loss[-1] < history.loss[0]
+
+
+def test_distillation_is_unsupervised(tiny_teacher):
+    """Distillation touches only images — labels never enter the loop."""
+    teacher, ds = tiny_teacher
+    student = DenoisingCNN(teacher, PrivacyLevel.MEDIUM,
+                           config=DistillationConfig(epochs=1),
+                           rng=np.random.default_rng(2))
+    student.distill(ds.images)  # no labels argument exists
+    preds = student.predict(ds.images)
+    assert preds.shape == (len(ds.images),)
+
+
+def test_distill_validates_input(tiny_teacher):
+    teacher, _ = tiny_teacher
+    student = DenoisingCNN(teacher, PrivacyLevel.LOW,
+                           rng=np.random.default_rng(3))
+    with pytest.raises(ConfigurationError):
+        student.distill(np.zeros((4, 64, 64), dtype=np.float32))
+
+
+def test_train_privacy_suite_covers_levels(tiny_teacher):
+    teacher, ds = tiny_teacher
+    suite = train_privacy_suite(teacher, ds.images[:20],
+                                config=DistillationConfig(epochs=1),
+                                rng=np.random.default_rng(4))
+    assert set(suite) == set(PrivacyLevel)
+    for level, student in suite.items():
+        assert student.level is level

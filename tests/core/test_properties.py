@@ -1,0 +1,137 @@
+"""Property-based invariants of the core components (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BayesianNetworkCombiner,
+    PrivacyLevel,
+    expand_imu_probs,
+    nearest_neighbor_resize,
+)
+from repro.datasets.classes import DrivingBehavior, to_imu_class
+from repro.nn.layers.activations import softmax
+
+
+def _dirichlet(rng, classes, n):
+    return rng.dirichlet(np.ones(classes), size=n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_bn_combiner_one_hot_parents_reads_cpt(seed):
+    """With certain (one-hot) parent verdicts the combiner output equals
+    the corresponding (normalized) CPT row — the BN semantics."""
+    rng = np.random.default_rng(seed)
+    combiner = BayesianNetworkCombiner(laplace=1.0)
+    combiner.fit(rng.integers(0, 6, 300), rng.integers(0, 3, 300),
+                 rng.integers(0, 6, 300))
+    i = int(rng.integers(0, 6))
+    j = int(rng.integers(0, 3))
+    cnn_probs = np.zeros((1, 6))
+    cnn_probs[0, i] = 1.0
+    imu_probs = np.zeros((1, 3))
+    imu_probs[0, j] = 1.0
+    out = combiner.predict_proba(cnn_probs, imu_probs)[0]
+    expected = combiner.cpt[i, j]
+    np.testing.assert_allclose(out, expected / expected.sum(), atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_bn_combiner_is_linear_in_parents(seed):
+    """Mixing parent distributions mixes outputs before normalization.
+
+    P(c | alpha p1 + (1-alpha) p2, q) is proportional to the same mix of
+    the unnormalized outputs — einsum linearity, checked numerically.
+    """
+    rng = np.random.default_rng(seed)
+    combiner = BayesianNetworkCombiner()
+    combiner.fit(rng.integers(0, 6, 200), rng.integers(0, 3, 200),
+                 rng.integers(0, 6, 200))
+    p1, p2 = _dirichlet(rng, 6, 2)
+    q = _dirichlet(rng, 3, 1)
+    alpha = float(rng.uniform(0, 1))
+    mixed = alpha * p1 + (1 - alpha) * p2
+    raw = np.einsum("i,j,ijc->c", mixed, q[0], combiner.cpt)
+    raw1 = np.einsum("i,j,ijc->c", p1, q[0], combiner.cpt)
+    raw2 = np.einsum("i,j,ijc->c", p2, q[0], combiner.cpt)
+    np.testing.assert_allclose(raw, alpha * raw1 + (1 - alpha) * raw2,
+                               atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_expand_imu_probs_respects_mapping(seed):
+    """Expanded mass lands only on behaviours mapping to each IMU class."""
+    rng = np.random.default_rng(seed)
+    imu_probs = _dirichlet(rng, 3, 4)
+    expanded = expand_imu_probs(imu_probs)
+    for behavior in DrivingBehavior:
+        imu_class = int(to_imu_class(behavior))
+        column = expanded[:, int(behavior)]
+        # Every entry is bounded by its source IMU class mass.
+        assert np.all(column <= imu_probs[:, imu_class] + 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 64), st.integers(2, 64))
+def test_resize_idempotent_on_blocky_images(in_edge, out_edge):
+    """Downsample-then-downsample-again to the same size is idempotent."""
+    rng = np.random.default_rng(in_edge * 1000 + out_edge)
+    image = rng.random((in_edge, in_edge)).astype(np.float32)
+    once = nearest_neighbor_resize(image, out_edge)
+    twice = nearest_neighbor_resize(once, out_edge)
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(16, 128))
+def test_privacy_levels_monotone_at_any_resolution(full_edge):
+    """L/M/H edges and data reductions stay strictly ordered."""
+    edges = [level.target_edge(full_edge) for level in PrivacyLevel]
+    assert edges[0] > edges[1] > edges[2] >= 2
+    reductions = [level.data_reduction(full_edge) for level in PrivacyLevel]
+    assert reductions[0] < reductions[1] < reductions[2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.1, 5.0))
+def test_softmax_temperature_preserves_argmax(seed, temperature):
+    """Scaling logits by a positive temperature never changes the argmax
+    (the property SVM probability calibration relies on)."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(5, 4))
+    base = softmax(logits, axis=1).argmax(axis=1)
+    scaled = softmax(logits / temperature, axis=1).argmax(axis=1)
+    np.testing.assert_array_equal(base, scaled)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_imu_window_determinism(seed):
+    """Same seed -> identical windows; different seed -> different."""
+    from repro.datasets import generate_imu_windows
+    a = generate_imu_windows(DrivingBehavior.TALKING, 2,
+                             rng=np.random.default_rng(seed))
+    b = generate_imu_windows(DrivingBehavior.TALKING, 2,
+                             rng=np.random.default_rng(seed))
+    c = generate_imu_windows(DrivingBehavior.TALKING, 2,
+                             rng=np.random.default_rng(seed + 1))
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 40), st.integers(1, 6))
+def test_scene_render_any_driver_and_class(driver_seed, behavior_id):
+    """The renderer never leaves [0, 1] for any appearance or class."""
+    from repro.datasets import DriverAppearance, SceneRenderer
+    rng = np.random.default_rng(driver_seed)
+    renderer = SceneRenderer(DriverAppearance.sample(driver_seed, rng),
+                             size=32)
+    frame = renderer.render(DrivingBehavior(behavior_id - 1), rng=rng)
+    assert frame.min() >= 0.0 and frame.max() <= 1.0
+    assert frame.std() > 0.01  # never a blank canvas

@@ -1,0 +1,172 @@
+"""IMU RNN and the Bayesian-network combiner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AveragingCombiner,
+    BayesianNetworkCombiner,
+    ImuSequenceRNN,
+    MaxConfidenceCombiner,
+    ProductCombiner,
+    RnnConfig,
+    build_imu_rnn,
+    expand_imu_probs,
+)
+from repro.datasets import DrivingBehavior, generate_imu_windows
+from repro.exceptions import NotFittedError, ShapeError
+
+
+def _imu_set(n_per=25, seed=0):
+    rng = np.random.default_rng(seed)
+    windows = []
+    labels = []
+    for cls, behavior in [(0, DrivingBehavior.NORMAL),
+                          (1, DrivingBehavior.TALKING),
+                          (2, DrivingBehavior.TEXTING)]:
+        windows.append(generate_imu_windows(behavior, n_per, rng=rng))
+        labels.append(np.full(n_per, cls))
+    x = np.concatenate(windows)
+    y = np.concatenate(labels)
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+def test_build_imu_rnn_structure(rng):
+    config = RnnConfig(hidden_units=16, num_layers=2)
+    net = build_imu_rnn(config, rng=rng)
+    out = net.forward(rng.normal(size=(3, 20, 12)).astype(np.float32))
+    assert out.shape == (3, 3)
+
+
+def test_rnn_learns_imu_classes():
+    x, y = _imu_set()
+    rnn = ImuSequenceRNN(RnnConfig(hidden_units=16, epochs=8),
+                         rng=np.random.default_rng(1))
+    rnn.fit(x, y)
+    assert rnn.evaluate(x, y) > 0.7
+
+
+def test_rnn_standardization_applied_at_inference():
+    x, y = _imu_set(n_per=10)
+    rnn = ImuSequenceRNN(RnnConfig(hidden_units=8, epochs=2),
+                         rng=np.random.default_rng(1))
+    rnn.fit(x, y)
+    probs = rnn.predict_proba(x)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+
+
+def test_rnn_not_fitted(rng):
+    rnn = ImuSequenceRNN(rng=rng)
+    with pytest.raises(NotFittedError):
+        rnn.predict(np.zeros((2, 20, 12), dtype=np.float32))
+
+
+# -- BN combiner -----------------------------------------------------------
+
+def test_cpt_rows_are_distributions(rng):
+    combiner = BayesianNetworkCombiner()
+    n = 200
+    combiner.fit(rng.integers(0, 6, n), rng.integers(0, 3, n),
+                 rng.integers(0, 6, n))
+    sums = combiner.cpt.sum(axis=2)
+    np.testing.assert_allclose(sums, 1.0, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 100_000))
+def test_combiner_outputs_distributions(seed):
+    rng = np.random.default_rng(seed)
+    combiner = BayesianNetworkCombiner()
+    combiner.fit(rng.integers(0, 6, 100), rng.integers(0, 3, 100),
+                 rng.integers(0, 6, 100))
+    cnn_probs = rng.dirichlet(np.ones(6), size=10)
+    imu_probs = rng.dirichlet(np.ones(3), size=10)
+    out = combiner.predict_proba(cnn_probs, imu_probs)
+    assert out.shape == (10, 6)
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(out >= 0)
+
+
+def test_combiner_learns_correction(rng):
+    """If the CNN always confuses texting->normal but the IMU flags
+    texting, the BN must recover the texting label."""
+    n = 600
+    true = rng.integers(0, 6, n)
+    cnn_verdicts = true.copy()
+    texting = true == 2
+    cnn_verdicts[texting] = 0  # CNN systematically wrong on texting
+    imu_verdicts = np.zeros(n, dtype=np.int64)
+    imu_verdicts[true == 1] = 1
+    imu_verdicts[texting] = 2
+    combiner = BayesianNetworkCombiner(laplace=0.5)
+    combiner.fit(cnn_verdicts, imu_verdicts, true)
+    # Evidence: CNN says normal (one-hot), IMU says texting.
+    cnn_probs = np.zeros((1, 6))
+    cnn_probs[0, 0] = 1.0
+    imu_probs = np.zeros((1, 3))
+    imu_probs[0, 2] = 1.0
+    assert combiner.predict(cnn_probs, imu_probs)[0] == 2
+
+
+def test_combiner_validates_shapes(rng):
+    combiner = BayesianNetworkCombiner()
+    combiner.fit(rng.integers(0, 6, 50), rng.integers(0, 3, 50),
+                 rng.integers(0, 6, 50))
+    with pytest.raises(ShapeError):
+        combiner.predict_proba(np.ones((2, 5)) / 5, np.ones((2, 3)) / 3)
+    with pytest.raises(ShapeError):
+        combiner.predict_proba(np.ones((2, 6)) / 6, np.ones((3, 3)) / 3)
+
+
+def test_combiner_not_fitted():
+    with pytest.raises(NotFittedError):
+        BayesianNetworkCombiner().predict_proba(np.ones((1, 6)) / 6,
+                                                np.ones((1, 3)) / 3)
+
+
+def test_combiner_fit_validates_lengths(rng):
+    with pytest.raises(ShapeError):
+        BayesianNetworkCombiner().fit(np.zeros(3, dtype=int),
+                                      np.zeros(4, dtype=int),
+                                      np.zeros(3, dtype=int))
+
+
+# -- expansion + baseline combiners -----------------------------------------
+
+def test_expand_imu_probs_preserves_mass(rng):
+    imu_probs = rng.dirichlet(np.ones(3), size=5)
+    expanded = expand_imu_probs(imu_probs)
+    assert expanded.shape == (5, 6)
+    np.testing.assert_allclose(expanded.sum(axis=1), 1.0, atol=1e-9)
+    # Talking mass goes entirely to behaviour class 1.
+    np.testing.assert_allclose(expanded[:, 1], imu_probs[:, 1])
+    np.testing.assert_allclose(expanded[:, 2], imu_probs[:, 2])
+
+
+@pytest.mark.parametrize("combiner_cls", [AveragingCombiner, ProductCombiner,
+                                          MaxConfidenceCombiner])
+def test_baseline_combiners_output_shapes(rng, combiner_cls):
+    combiner = combiner_cls()
+    cnn_probs = rng.dirichlet(np.ones(6), size=7)
+    imu_probs = rng.dirichlet(np.ones(3), size=7)
+    out = combiner.predict_proba(cnn_probs, imu_probs)
+    assert out.shape == (7, 6)
+    preds = combiner.predict(cnn_probs, imu_probs)
+    assert preds.shape == (7,)
+
+
+def test_product_combiner_normalized(rng):
+    combiner = ProductCombiner()
+    out = combiner.predict_proba(rng.dirichlet(np.ones(6), size=4),
+                                 rng.dirichlet(np.ones(3), size=4))
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_max_confidence_prefers_confident_imu():
+    combiner = MaxConfidenceCombiner()
+    cnn_probs = np.full((1, 6), 1 / 6)          # maximally unsure
+    imu_probs = np.array([[0.0, 1.0, 0.0]])     # certain: talking
+    assert combiner.predict(cnn_probs, imu_probs)[0] == 1

@@ -1,0 +1,124 @@
+"""Behaviour taxonomy and sliding-window extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    DrivingBehavior,
+    ImuClass,
+    PAPER_FRAME_COUNTS,
+    behavior_names,
+    imu_class_names,
+    scaled_frame_counts,
+    sliding_windows,
+    to_imu_class,
+    window_labels,
+    windows_from_stream,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def test_six_behavior_classes():
+    assert len(DrivingBehavior) == 6
+    assert DrivingBehavior.NORMAL.paper_id == 1
+    assert DrivingBehavior.REACHING.paper_id == 6
+
+
+def test_display_names_match_table1():
+    assert DrivingBehavior.EATING_DRINKING.display_name == "Eating/Drinking"
+    assert behavior_names()[0] == "Normal Driving"
+
+
+def test_paper_frame_counts_table1():
+    assert PAPER_FRAME_COUNTS[DrivingBehavior.REACHING] == 17_709
+    assert sum(PAPER_FRAME_COUNTS.values()) == 57_080
+
+
+def test_imu_mapping():
+    assert to_imu_class(DrivingBehavior.TALKING) is ImuClass.TALKING
+    assert to_imu_class(DrivingBehavior.TEXTING) is ImuClass.TEXTING
+    for behavior in (DrivingBehavior.NORMAL, DrivingBehavior.EATING_DRINKING,
+                     DrivingBehavior.HAIR_MAKEUP, DrivingBehavior.REACHING):
+        assert to_imu_class(behavior) is ImuClass.NORMAL
+
+
+def test_imu_mapping_accepts_ints():
+    assert to_imu_class(2) is ImuClass.TEXTING
+
+
+def test_imu_class_names():
+    assert imu_class_names() == ["Normal", "Talking", "Texting"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(6, 5000))
+def test_scaled_frame_counts_properties(total):
+    counts = scaled_frame_counts(total)
+    assert all(count >= 1 for count in counts.values())
+    assert abs(sum(counts.values()) - total) <= len(counts)
+    # Imbalance preserved: reaching is the largest class.
+    assert counts[DrivingBehavior.REACHING] == max(counts.values())
+
+
+def test_scaled_frame_counts_validates():
+    with pytest.raises(ConfigurationError):
+        scaled_frame_counts(0)
+
+
+# -- sliding windows -------------------------------------------------------
+
+def test_sliding_windows_count_and_content():
+    stream = np.arange(10, dtype=np.float32).reshape(10, 1)
+    windows = sliding_windows(stream, steps=4, stride=2)
+    assert windows.shape == (4, 4, 1)
+    np.testing.assert_array_equal(windows[0].ravel(), [0, 1, 2, 3])
+    np.testing.assert_array_equal(windows[1].ravel(), [2, 3, 4, 5])
+
+
+def test_sliding_windows_too_short_stream():
+    stream = np.zeros((3, 2), dtype=np.float32)
+    assert sliding_windows(stream, steps=5).shape == (0, 5, 2)
+
+
+def test_sliding_windows_validation():
+    with pytest.raises(ShapeError):
+        sliding_windows(np.zeros(5), steps=2)
+    with pytest.raises(ConfigurationError):
+        sliding_windows(np.zeros((5, 1)), steps=0)
+
+
+def test_window_labels_majority():
+    labels = np.array([0, 0, 1, 1, 1])
+    assert window_labels(labels, steps=5).tolist() == [1]
+
+
+def test_window_labels_reject_mixed():
+    labels = np.array([0, 0, 1, 1])
+    assert window_labels(labels, steps=4, reject_mixed=True).tolist() == [-1]
+    assert window_labels(np.array([2, 2, 2]), steps=3,
+                         reject_mixed=True).tolist() == [2]
+
+
+def test_windows_from_stream_drops_unlabelled():
+    values = np.arange(12, dtype=np.float32).reshape(6, 2)
+    labels = np.array([0, 0, 1, 1, 1, 1])
+    windows, marks = windows_from_stream(values, labels, steps=4, stride=1,
+                                         drop_unlabelled=True)
+    assert windows.shape[0] == marks.shape[0] == 3
+
+
+def test_windows_from_stream_length_mismatch():
+    with pytest.raises(ShapeError):
+        windows_from_stream(np.zeros((5, 1), dtype=np.float32),
+                            np.zeros(4, dtype=np.int64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 40), st.integers(1, 5), st.integers(2, 6))
+def test_sliding_windows_count_formula(length, stride, steps):
+    stream = np.zeros((length, 3), dtype=np.float32)
+    windows = sliding_windows(stream, steps=steps, stride=stride)
+    expected = max(0, (length - steps) // stride + 1)
+    assert windows.shape[0] == expected

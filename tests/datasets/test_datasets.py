@@ -1,0 +1,158 @@
+"""Dataset containers, generation, splits, and the pretraining task."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    DrivingBehavior,
+    DrivingDataset,
+    NUM_ALTERNATIVE_CLASSES,
+    SHAPE_CLASSES,
+    class_names,
+    generate_alternative_dataset,
+    generate_driving_dataset,
+    generate_pretraining_dataset,
+    summarize,
+)
+from repro.exceptions import ConfigurationError, ShapeError
+
+
+def test_generated_dataset_structure(tiny_driving_dataset):
+    ds = tiny_driving_dataset
+    assert ds.images.shape[1:] == (1, 64, 64)
+    assert ds.imu.shape[1:] == (20, 12)
+    assert ds.labels.shape == ds.drivers.shape
+    assert len(ds) == ds.images.shape[0]
+
+
+def test_dataset_class_imbalance(tiny_driving_dataset):
+    counts = tiny_driving_dataset.class_counts()
+    assert counts[DrivingBehavior.REACHING] == max(counts.values())
+    assert all(count >= 1 for count in counts.values())
+
+
+def test_imu_labels_mapping(tiny_driving_dataset):
+    ds = tiny_driving_dataset
+    imu = ds.imu_labels
+    assert set(np.unique(imu)) <= {0, 1, 2}
+    # Non-phone behaviours all map to IMU normal.
+    eating = ds.labels == int(DrivingBehavior.EATING_DRINKING)
+    assert np.all(imu[eating] == 0)
+    talking = ds.labels == int(DrivingBehavior.TALKING)
+    assert np.all(imu[talking] == 1)
+
+
+def test_split_disjoint_and_complete(tiny_driving_dataset):
+    ds = tiny_driving_dataset
+    train, evaluation = ds.train_eval_split(
+        rng=np.random.default_rng(0))
+    assert len(train) + len(evaluation) == len(ds)
+    ratio = len(train) / len(ds)
+    assert 0.75 < ratio < 0.85
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(0.5, 0.9))
+def test_split_fraction_respected(fraction):
+    ds = generate_driving_dataset(60, num_drivers=1,
+                                  rng=np.random.default_rng(3))
+    train, evaluation = ds.train_eval_split(
+        fraction, rng=np.random.default_rng(0))
+    assert abs(len(train) / len(ds) - fraction) < 0.15
+
+
+def test_split_stratified_keeps_all_classes():
+    ds = generate_driving_dataset(200, num_drivers=2,
+                                  rng=np.random.default_rng(4))
+    train, evaluation = ds.train_eval_split(rng=np.random.default_rng(0))
+    for behavior in DrivingBehavior:
+        assert np.sum(train.labels == int(behavior)) > 0
+        assert np.sum(evaluation.labels == int(behavior)) > 0
+
+
+def test_split_validates_fraction(tiny_driving_dataset):
+    with pytest.raises(ConfigurationError):
+        tiny_driving_dataset.train_eval_split(1.0)
+
+
+def test_dataset_shape_validation(rng):
+    with pytest.raises(ShapeError):
+        DrivingDataset(images=np.zeros((3, 1, 8, 8), dtype=np.float32),
+                       imu=np.zeros((2, 20, 12), dtype=np.float32),
+                       labels=np.zeros(3, dtype=np.int64),
+                       drivers=np.zeros(3, dtype=np.int64))
+
+
+def test_subset(tiny_driving_dataset):
+    sub = tiny_driving_dataset.subset(np.array([0, 2, 4]))
+    assert len(sub) == 3
+    np.testing.assert_array_equal(sub.labels,
+                                  tiny_driving_dataset.labels[[0, 2, 4]])
+
+
+def test_generation_validates_drivers(rng):
+    with pytest.raises(ConfigurationError):
+        generate_driving_dataset(10, num_drivers=0, rng=rng)
+
+
+def test_summarize_renders_table(tiny_driving_dataset):
+    text = summarize(tiny_driving_dataset)
+    assert "Eating/Drinking" in text
+    assert "Image, IMU" in text and "Image, --" in text
+
+
+def test_generation_deterministic_given_seed():
+    a = generate_driving_dataset(30, rng=np.random.default_rng(9))
+    b = generate_driving_dataset(30, rng=np.random.default_rng(9))
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_allclose(a.images, b.images)
+    np.testing.assert_allclose(a.imu, b.imu)
+
+
+# -- alternative dataset -----------------------------------------------------
+
+def test_alternative_dataset_structure(tiny_alternative_dataset):
+    ds = tiny_alternative_dataset
+    assert set(np.unique(ds.labels)) == set(range(NUM_ALTERNATIVE_CLASSES))
+    assert ds.images.shape[1:] == (1, 64, 64)
+
+
+def test_alternative_class_names():
+    names = class_names()
+    assert len(names) == 18
+    assert len(set(names)) == 18
+
+
+def test_alternative_split(tiny_alternative_dataset):
+    train, evaluation = tiny_alternative_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    assert len(train) + len(evaluation) == len(tiny_alternative_dataset)
+
+
+def test_alternative_validates(rng):
+    with pytest.raises(ConfigurationError):
+        generate_alternative_dataset(0, rng=rng)
+
+
+# -- pretraining -------------------------------------------------------------
+
+def test_pretraining_dataset(rng):
+    images, labels = generate_pretraining_dataset(5, size=32, rng=rng)
+    assert images.shape == (5 * len(SHAPE_CLASSES), 1, 32, 32)
+    assert set(np.unique(labels)) == set(range(len(SHAPE_CLASSES)))
+    assert images.min() >= 0.0 and images.max() <= 1.0
+
+
+def test_pretraining_validates(rng):
+    with pytest.raises(ConfigurationError):
+        generate_pretraining_dataset(0, rng=rng)
+
+
+def test_pretraining_shapes_distinct(rng):
+    """Different shape classes have visibly different mean images."""
+    images, labels = generate_pretraining_dataset(20, size=32, rng=rng)
+    mean_disk = images[labels == 0].mean(axis=0)
+    mean_vbar = images[labels == 5].mean(axis=0)
+    assert np.abs(mean_disk - mean_vbar).max() > 0.1

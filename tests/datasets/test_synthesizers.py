@@ -1,0 +1,183 @@
+"""IMU and image synthesizers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DEFAULT_WINDOW_STEPS,
+    DriverAppearance,
+    DriverProfile,
+    DrivingBehavior,
+    GRAVITY,
+    ImuTraceGenerator,
+    SceneRenderer,
+    generate_imu_windows,
+    render_batch,
+    standardize_windows,
+)
+from repro.datasets.alternative import ALTERNATIVE_POSES
+from repro.exceptions import ConfigurationError
+
+
+# -- IMU -----------------------------------------------------------------
+
+def test_gravity_magnitude_preserved(rng):
+    generator = ImuTraceGenerator(DrivingBehavior.NORMAL, rng=rng)
+    samples = generator.sample("gravity", np.linspace(0, 10, 50))
+    norms = np.linalg.norm(samples, axis=1)
+    # Bias adds a small offset; magnitude stays near g.
+    assert np.all(np.abs(norms - GRAVITY) < 1.5)
+
+
+def test_orientations_differ_between_classes(rng):
+    """Talking and pocket holds point gravity at different device axes."""
+    normal = ImuTraceGenerator(DrivingBehavior.NORMAL,
+                               rng=np.random.default_rng(0))
+    talking = ImuTraceGenerator(DrivingBehavior.TALKING,
+                                rng=np.random.default_rng(0))
+    g_normal = normal.sample("gravity", 0.0)
+    g_talking = talking.sample("gravity", 0.0)
+    cos = np.dot(g_normal, g_talking) / (
+        np.linalg.norm(g_normal) * np.linalg.norm(g_talking))
+    assert cos < 0.9  # clearly different directions
+
+
+def test_sample_is_deterministic_in_time(rng):
+    generator = ImuTraceGenerator(DrivingBehavior.TEXTING, rng=rng)
+    a = generator.sample("accelerometer", 1.5)
+    b = generator.sample("accelerometer", 1.5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_sample_vector_and_scalar_agree(rng):
+    generator = ImuTraceGenerator(DrivingBehavior.TALKING, rng=rng)
+    batch = generator.sample("gyroscope", np.array([0.5, 1.0]))
+    single = generator.sample("gyroscope", 1.0)
+    np.testing.assert_allclose(batch[1], single)
+
+
+def test_unknown_sensor_rejected(rng):
+    generator = ImuTraceGenerator(DrivingBehavior.NORMAL, rng=rng)
+    with pytest.raises(ConfigurationError):
+        generator.sample("magnetometer", 0.0)
+
+
+def test_window_shape_and_dtype(rng):
+    generator = ImuTraceGenerator(DrivingBehavior.TEXTING, rng=rng)
+    window = generator.window(rng=rng)
+    assert window.shape == (DEFAULT_WINDOW_STEPS, 12)
+    assert window.dtype == np.float32
+
+
+def test_generate_imu_windows(rng):
+    windows = generate_imu_windows(DrivingBehavior.TALKING, 7, rng=rng)
+    assert windows.shape == (7, 20, 12)
+    # Independent episodes -> windows differ.
+    assert not np.allclose(windows[0], windows[1])
+
+
+def test_generate_imu_windows_validates(rng):
+    with pytest.raises(ConfigurationError):
+        generate_imu_windows(DrivingBehavior.NORMAL, 0, rng=rng)
+
+
+def test_reaching_has_more_motion_than_pocket(rng):
+    """Reaching adds arm sway to the pocket signature (paper §5.2)."""
+    def motion(behavior):
+        energy = []
+        for seed in range(8):
+            gen = ImuTraceGenerator(behavior, rng=np.random.default_rng(seed))
+            window = gen.window(noise_std=0.0, rng=np.random.default_rng(0))
+            accel = window[:, :3]
+            energy.append(np.std(accel - accel.mean(axis=0), axis=0).mean())
+        return float(np.mean(energy))
+
+    assert motion(DrivingBehavior.REACHING) > 1.5 * motion(
+        DrivingBehavior.NORMAL)
+
+
+def test_standardize_windows_roundtrip(rng):
+    windows = rng.normal(3.0, 2.0, size=(10, 20, 12)).astype(np.float32)
+    scaled, stats = standardize_windows(windows)
+    assert abs(scaled.mean()) < 1e-4
+    assert abs(scaled.std() - 1.0) < 1e-2
+    rescaled, _ = standardize_windows(windows, stats)
+    np.testing.assert_allclose(scaled, rescaled)
+
+
+def test_driver_profile_sampling(rng):
+    profiles = [DriverProfile.sample(i, rng) for i in range(5)]
+    offsets = {p.pitch_offset for p in profiles}
+    assert len(offsets) == 5  # all distinct
+
+
+def test_signal_fn_adapter(rng):
+    generator = ImuTraceGenerator(DrivingBehavior.NORMAL, rng=rng)
+    fn = generator.signal_fn()
+    np.testing.assert_allclose(fn("gravity", 1.0),
+                               generator.sample("gravity", 1.0))
+
+
+# -- images ----------------------------------------------------------------
+
+def test_render_in_unit_range(rng):
+    renderer = SceneRenderer(DriverAppearance.sample(0, rng))
+    for behavior in DrivingBehavior:
+        frame = renderer.render(behavior, rng=rng)
+        assert frame.dtype == np.float32
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+        assert frame.shape == (64, 64)
+
+
+def test_render_custom_size(rng):
+    renderer = SceneRenderer(size=32)
+    assert renderer.render(DrivingBehavior.NORMAL, rng=rng).shape == (32, 32)
+
+
+def test_render_rejects_tiny_canvas():
+    with pytest.raises(ConfigurationError):
+        SceneRenderer(size=8)
+
+
+def test_distinct_classes_render_differently(rng):
+    """Mean frames of eating vs normal differ far more than noise."""
+    renderer = SceneRenderer(DriverAppearance.sample(0, rng),
+                             noise_std=0.0, lighting_range=(1.0, 1.0))
+    def mean_frame(behavior):
+        return np.mean([renderer.render(behavior, rng=rng, pose_jitter=0.0)
+                        for _ in range(5)], axis=0)
+    eating = mean_frame(DrivingBehavior.EATING_DRINKING)
+    hair = mean_frame(DrivingBehavior.HAIR_MAKEUP)
+    assert np.abs(eating - hair).max() > 0.2
+
+
+def test_explicit_pose_bypasses_mimic(rng):
+    """The 18-class dataset path always renders the requested pose."""
+    renderer = SceneRenderer(noise_std=0.0, lighting_range=(1.0, 1.0))
+    pose = ALTERNATIVE_POSES[8][2]  # drinking cup — large bright object
+    frames = [renderer.render(DrivingBehavior.EATING_DRINKING, rng=rng,
+                              pose=pose, pose_jitter=0.0)
+              for _ in range(4)]
+    # All frames show the object (bright pixels near the head).
+    for frame in frames:
+        assert frame[18:30, 25:36].max() > 0.7
+
+
+def test_render_batch_shapes(rng):
+    behaviors = np.array([0, 1, 2, 3])
+    batch = render_batch(behaviors, size=32, rng=rng)
+    assert batch.shape == (4, 1, 32, 32)
+
+
+def test_render_batch_multi_driver(rng):
+    appearances = [DriverAppearance.sample(i, rng) for i in range(2)]
+    batch = render_batch(np.array([0, 0]), appearances=appearances,
+                         driver_ids=np.array([0, 1]), rng=rng)
+    assert not np.allclose(batch[0], batch[1])
+
+
+def test_frame_fn_schedule(rng):
+    renderer = SceneRenderer(DriverAppearance.sample(0, rng))
+    fn = renderer.frame_fn(lambda t: 2 if t > 1.0 else 0, rng=rng)
+    assert fn(0.0).shape == (64, 64)
+    assert fn(2.0).shape == (64, 64)

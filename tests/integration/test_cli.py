@@ -1,0 +1,54 @@
+"""Command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["reproduce", "table9"])
+
+
+def test_cli_collect(tmp_path, capsys):
+    out = os.path.join(tmp_path, "collected")
+    os.makedirs(out)
+    code = main(["collect", "--drives", "1", "--segment-seconds", "2",
+                 "--output", out])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "readings" in captured
+    assert os.path.exists(os.path.join(out, "drive_00.npz"))
+
+
+def test_cli_train_and_evaluate(tmp_path, capsys):
+    model_dir = os.path.join(tmp_path, "model")
+    code = main(["train", "--architecture", "cnn", "--samples", "60",
+                 "--epochs", "1", "--output", model_dir, "--seed", "3"])
+    assert code == 0
+    assert os.path.exists(os.path.join(model_dir, "manifest.json"))
+    code = main(["evaluate", "--model", model_dir, "--samples", "30"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Top-1" in captured
+
+
+@pytest.mark.parametrize("experiment", ["fig2", "fig3", "fig4"])
+def test_cli_reproduce_light_experiments(experiment, capsys):
+    assert main(["reproduce", experiment, "--scale", "smoke"]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_cli_reproduce_table1(capsys):
+    assert main(["reproduce", "table1", "--scale", "smoke"]) == 0
+    assert "Normal Driving" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Experiment configuration, scales, and reporting plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    DEFAULT,
+    FULL,
+    PAPER_IMU_ONLY,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    SMOKE,
+    ascii_frame,
+    get_scale,
+)
+
+
+def test_scale_lookup():
+    assert get_scale("smoke") is SMOKE
+    assert get_scale("default") is DEFAULT
+    assert get_scale("full") is FULL
+
+
+def test_scale_lookup_unknown():
+    with pytest.raises(ConfigurationError):
+        get_scale("gigantic")
+
+
+def test_scales_are_ordered_by_cost():
+    assert SMOKE.dataset_samples < DEFAULT.dataset_samples \
+        < FULL.dataset_samples
+    assert SMOKE.cnn_epochs < DEFAULT.cnn_epochs <= FULL.cnn_epochs
+
+
+def test_paper_numbers_match_publication():
+    # Table 2 of the paper, exactly.
+    assert PAPER_TABLE2 == {"cnn+rnn": 0.8702, "cnn+svm": 0.8623,
+                            "cnn": 0.7388}
+    # §5.2 IMU-only numbers.
+    assert PAPER_IMU_ONLY == {"rnn": 0.9744, "svm": 0.9537}
+    # Table 3.
+    assert PAPER_TABLE3["dCNN-L"] == 0.8000
+    assert PAPER_TABLE3["dCNN-H"] == 0.6313
+
+
+def test_paper_orderings_hold_in_reference_numbers():
+    """The shape criteria are consistent with the paper's own numbers."""
+    assert PAPER_TABLE2["cnn+rnn"] > PAPER_TABLE2["cnn+svm"] \
+        > PAPER_TABLE2["cnn"]
+    assert PAPER_IMU_ONLY["rnn"] > PAPER_IMU_ONLY["svm"]
+    assert PAPER_TABLE3["dCNN-L"] > PAPER_TABLE3["cnn"] \
+        > PAPER_TABLE3["dCNN-M"] > PAPER_TABLE3["dCNN-H"]
+
+
+def test_ascii_frame_renders(rng):
+    art = ascii_frame(rng.random((32, 32)))
+    lines = art.splitlines()
+    assert len(lines) > 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_ascii_frame_intensity_mapping():
+    dark = ascii_frame(np.zeros((8, 8)))
+    bright = ascii_frame(np.ones((8, 8)))
+    assert set(dark) <= {" ", "\n"}
+    assert "@" in bright

@@ -1,0 +1,168 @@
+"""Failure injection: the pipeline under degraded conditions.
+
+The collection framework must degrade gracefully, not collapse: bursts of
+total packet loss, an agent going silent mid-drive, extreme clock drift,
+and sensor spikes are all injected here and the controller's recovery
+behaviour asserted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    CentralizedController,
+    Channel,
+    CollectionAgent,
+    DriftingClock,
+    SlidingMovingAverage,
+    VirtualClock,
+)
+from repro.streaming.sensors import SyntheticSensor
+
+
+def _build(rng, drift_ppm=50.0, drop=0.0):
+    true = VirtualClock()
+    uplink = Channel(base_latency=0.005, jitter=0.001,
+                     drop_probability=drop, rng=rng)
+    downlink = Channel(base_latency=0.005, jitter=0.001, rng=rng)
+    sensor = SyntheticSensor("accelerometer", 3,
+                             lambda t: np.array([np.sin(t), 0.0, 9.81]),
+                             noise_std=0.02, rng=rng)
+    agent = CollectionAgent("phone", [sensor],
+                            DriftingClock(true, drift_ppm=drift_ppm),
+                            uplink, poll_interval=0.05,
+                            transmit_interval=0.2)
+    controller = CentralizedController(true, grid_period=0.25)
+    controller.register_agent(agent, uplink, downlink)
+    return true, agent, controller, uplink
+
+
+def _run(true, agent, controller, seconds, on_step=None):
+    steps = int(seconds / 0.01)
+    for _ in range(steps):
+        now = true.advance(0.01)
+        if on_step is not None:
+            on_step(now)
+        agent.step(now)
+        controller.step(now)
+
+
+def test_total_loss_burst_recovers(rng):
+    """A 3-second complete blackout: alignment still succeeds afterwards."""
+    true, agent, controller, uplink = _build(rng)
+
+    def blackout(now):
+        uplink.drop_probability = 1.0 if 3.0 <= now < 6.0 else 0.0
+
+    _run(true, agent, controller, 12.0, on_step=blackout)
+    grid, aligned = controller.normalize()
+    # Interpolation bridges the gap: the grid is continuous and the
+    # signal values stay within physical range throughout.
+    assert grid.shape[0] > 20
+    accel = aligned["phone/accelerometer"]
+    assert np.all(np.isfinite(accel))
+    assert np.all(np.abs(accel[:, 2] - 9.81) < 2.0)
+    assert uplink.stats.dropped > 0
+
+
+def test_agent_silence_mid_drive(rng):
+    """The agent stops polling halfway; data before the stop survives."""
+    true, agent, controller, _ = _build(rng)
+
+    silenced = {"done": False}
+
+    def kill_agent(now):
+        if now >= 5.0 and not silenced["done"]:
+            # Simulate process death: the agent never polls again.
+            agent.poll_interval = 1e9
+            agent._next_poll = 1e18
+            silenced["done"] = True
+
+    _run(true, agent, controller, 10.0, on_step=kill_agent)
+    grid, _ = controller.normalize()
+    # The grid covers only the observed span (no fabricated data).
+    assert grid[-1] < 7.0
+    assert controller.readings_received > 50
+
+
+def test_extreme_clock_drift_still_bounded(rng):
+    """1000 ppm drift (10x a bad oscillator): sync keeps error < 50 ms."""
+    true, agent, controller, _ = _build(rng, drift_ppm=1000.0)
+    _run(true, agent, controller, 20.0)
+    report = controller.sync_report()
+    assert report["phone"] < 0.05
+
+
+def test_sensor_spike_smoothed(rng):
+    """A 100x sensor spike is attenuated by the controller's smoothing."""
+    true = VirtualClock()
+    spike_at = 5.0
+
+    def spiky(t):
+        if abs(t - spike_at) < 0.05:
+            return np.array([500.0, 500.0, 500.0])
+        return np.array([0.0, 0.0, 9.81])
+
+    uplink = Channel(base_latency=0.005, rng=rng)
+    sensor = SyntheticSensor("accelerometer", 3, spiky, rng=rng)
+    agent = CollectionAgent("phone", [sensor], DriftingClock(true), uplink,
+                            poll_interval=0.05, transmit_interval=0.2)
+    controller = CentralizedController(true, grid_period=0.25,
+                                       smoothing_window=5)
+    controller.register_agent(agent, uplink)
+    for _ in range(1000):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    _, aligned = controller.normalize()
+    accel = aligned["phone/accelerometer"]
+    # The raw spike is 500; after 5-point smoothing it must be well cut.
+    assert accel[:, 0].max() < 500.0 / 2
+
+
+def test_smoothing_never_amplifies(rng):
+    """Moving-average output is always within the raw signal's envelope."""
+    sma = SlidingMovingAverage(4)
+    values = rng.normal(0, 10, size=200)
+    smoothed = sma.smooth_series(values)
+    assert smoothed.max() <= values.max() + 1e-9
+    assert smoothed.min() >= values.min() - 1e-9
+
+
+def test_out_of_order_heavy_jitter_alignment():
+    """Jitter 10x the base latency scrambles arrival order massively;
+    timestamp-based ordering still produces a monotone stream."""
+    rng = np.random.default_rng(9)
+    true = VirtualClock()
+    uplink = Channel(base_latency=0.005, jitter=0.05, rng=rng)
+    sensor = SyntheticSensor("accelerometer", 3,
+                             lambda t: np.array([t, 0.0, 9.81]), rng=rng)
+    agent = CollectionAgent("phone", [sensor], DriftingClock(true), uplink,
+                            poll_interval=0.02, transmit_interval=0.05)
+    controller = CentralizedController(true, grid_period=0.25)
+    controller.register_agent(agent, uplink)
+    for _ in range(800):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    timestamps, values = controller.raw_streams()["phone/accelerometer"]
+    assert np.all(np.diff(timestamps) >= 0)
+    # The linear x-channel must be monotone after ordering.
+    assert np.all(np.diff(values[:, 0]) > -0.5)
+
+
+def test_ensemble_survives_constant_imu(rng, tiny_driving_dataset):
+    """A dead IMU (all zeros) at inference must not crash or emit NaNs."""
+    from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+    train, evaluation = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1),
+        rng=np.random.default_rng(1))
+    ensemble.fit(train)
+    dead = evaluation.subset(np.arange(min(8, len(evaluation))))
+    dead.imu[:] = 0.0
+    probs = ensemble.predict_proba(dead)
+    assert np.isfinite(probs).all()
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-5)

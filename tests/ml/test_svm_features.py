@@ -1,0 +1,220 @@
+"""Kernels, SVM solver, and window features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.ml import (
+    BinarySVM,
+    FeatureScaler,
+    MultiClassSVM,
+    extract_window_features,
+    feature_dimension,
+    get_kernel,
+    linear_kernel,
+    polynomial_kernel,
+    rbf_kernel,
+)
+
+
+# -- kernels --------------------------------------------------------------
+
+def test_linear_kernel_values():
+    a = np.array([[1.0, 2.0]])
+    b = np.array([[3.0, 4.0], [0.0, 1.0]])
+    np.testing.assert_allclose(linear_kernel(a, b), [[11.0, 2.0]])
+
+
+def test_rbf_kernel_diagonal_is_one(rng):
+    x = rng.normal(size=(5, 3))
+    gram = rbf_kernel(0.5)(x, x)
+    np.testing.assert_allclose(np.diag(gram), 1.0)
+    assert np.all(gram <= 1.0 + 1e-12)
+
+
+def test_rbf_kernel_decays_with_distance():
+    kernel = rbf_kernel(1.0)
+    near = kernel(np.array([[0.0]]), np.array([[0.1]]))
+    far = kernel(np.array([[0.0]]), np.array([[3.0]]))
+    assert near > far
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_rbf_kernel_symmetric(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(4, 2))
+    gram = rbf_kernel(0.7)(x, x)
+    np.testing.assert_allclose(gram, gram.T, atol=1e-12)
+
+
+def test_polynomial_kernel():
+    kernel = polynomial_kernel(degree=2, coef0=1.0)
+    out = kernel(np.array([[1.0]]), np.array([[2.0]]))
+    np.testing.assert_allclose(out, [[9.0]])
+
+
+def test_kernel_validation():
+    with pytest.raises(ConfigurationError):
+        rbf_kernel(0.0)
+    with pytest.raises(ConfigurationError):
+        polynomial_kernel(degree=0)
+    with pytest.raises(ConfigurationError):
+        get_kernel("sigmoid")
+
+
+def test_get_kernel_resolution():
+    assert get_kernel("linear") is linear_kernel
+    assert callable(get_kernel("rbf", gamma=2.0))
+    assert get_kernel(linear_kernel) is linear_kernel
+
+
+# -- binary SVM ---------------------------------------------------------
+
+def _separable(rng, n=60, margin=2.0):
+    x = rng.normal(size=(n, 2))
+    y = np.where(x[:, 0] + x[:, 1] > 0, 1.0, -1.0)
+    x += margin * 0.25 * y[:, None]
+    return x, y
+
+
+def test_binary_svm_separable(rng):
+    x, y = _separable(rng)
+    svm = BinarySVM(c=10.0, kernel="linear", rng=rng).fit(x, y)
+    assert np.mean(svm.predict(x) == y) > 0.95
+
+
+def test_binary_svm_xor_needs_rbf(rng):
+    x = rng.normal(size=(80, 2))
+    y = np.where(x[:, 0] * x[:, 1] > 0, 1.0, -1.0)
+    linear = BinarySVM(c=1.0, kernel="linear", rng=np.random.default_rng(0))
+    rbf = BinarySVM(c=10.0, kernel="rbf", gamma=1.0,
+                    rng=np.random.default_rng(0))
+    linear_acc = np.mean(linear.fit(x, y).predict(x) == y)
+    rbf_acc = np.mean(rbf.fit(x, y).predict(x) == y)
+    assert rbf_acc > 0.9
+    assert rbf_acc > linear_acc
+
+
+def test_binary_svm_support_vectors_subset(rng):
+    x, y = _separable(rng, n=80)
+    svm = BinarySVM(c=1.0, kernel="linear", rng=rng).fit(x, y)
+    assert 0 < svm.num_support_vectors <= 80
+
+
+def test_binary_svm_rejects_bad_labels(rng):
+    with pytest.raises(ShapeError):
+        BinarySVM(rng=rng).fit(np.zeros((3, 2)), np.array([0.0, 1.0, 2.0]))
+
+
+def test_binary_svm_not_fitted(rng):
+    with pytest.raises(NotFittedError):
+        BinarySVM(rng=rng).decision_function(np.zeros((1, 2)))
+    with pytest.raises(NotFittedError):
+        _ = BinarySVM(rng=rng).num_support_vectors
+
+
+def test_binary_svm_validates_c():
+    with pytest.raises(ConfigurationError):
+        BinarySVM(c=0.0)
+
+
+# -- multiclass -------------------------------------------------------------
+
+def _blobs3(rng, n_per=30):
+    centers = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+    x = np.concatenate([
+        centers[i] + rng.normal(0, 0.6, size=(n_per, 2)) for i in range(3)])
+    y = np.repeat(np.arange(3), n_per)
+    return x, y
+
+
+def test_multiclass_svm_blobs(rng):
+    x, y = _blobs3(rng)
+    svm = MultiClassSVM(c=5.0, kernel="rbf", gamma=0.5, rng=rng).fit(x, y)
+    assert svm.evaluate(x, y) > 0.95
+
+
+def test_multiclass_proba_is_distribution(rng):
+    x, y = _blobs3(rng)
+    svm = MultiClassSVM(rng=rng).fit(x, y)
+    probs = svm.predict_proba(x)
+    assert probs.shape == (len(x), 3)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(probs >= 0)
+
+
+def test_multiclass_preserves_label_values(rng):
+    x, y = _blobs3(rng)
+    shifted = y * 10 + 5  # labels {5, 15, 25}
+    svm = MultiClassSVM(rng=rng).fit(x, shifted)
+    assert set(np.unique(svm.predict(x))) <= {5, 15, 25}
+    np.testing.assert_array_equal(svm.classes_, [5, 15, 25])
+
+
+def test_multiclass_single_class_rejected(rng):
+    with pytest.raises(ShapeError):
+        MultiClassSVM(rng=rng).fit(np.zeros((4, 2)), np.zeros(4))
+
+
+def test_multiclass_not_fitted(rng):
+    with pytest.raises(NotFittedError):
+        MultiClassSVM(rng=rng).predict(np.zeros((1, 2)))
+
+
+# -- features ------------------------------------------------------------
+
+def test_feature_dimension_matches_extraction(rng):
+    windows = rng.normal(size=(4, 20, 12))
+    features = extract_window_features(windows)
+    assert features.shape == (4, feature_dimension(12))
+
+
+def test_features_capture_mean_and_std():
+    window = np.zeros((1, 10, 12))
+    window[0, :, 0] = [0, 2] * 5  # mean 1, std 1
+    features = extract_window_features(window)
+    assert features[0, 0] == pytest.approx(1.0)      # mean of channel 0
+    assert features[0, 12] == pytest.approx(1.0)     # std of channel 0
+
+
+def test_features_validate_shape(rng):
+    with pytest.raises(ShapeError):
+        extract_window_features(rng.normal(size=(4, 20)))
+
+
+def test_feature_correlations_bounded(rng):
+    windows = rng.normal(size=(8, 20, 12))
+    features = extract_window_features(windows)
+    correlations = features[:, -3:]
+    assert np.all(np.abs(correlations) <= 1.0 + 1e-9)
+
+
+def test_scaler_standardizes(rng):
+    features = rng.normal(5.0, 3.0, size=(100, 7))
+    scaler = FeatureScaler()
+    scaled = scaler.fit_transform(features)
+    np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+    np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_scaler_transform_consistent(rng):
+    train = rng.normal(size=(50, 3))
+    test = rng.normal(size=(10, 3))
+    scaler = FeatureScaler().fit(train)
+    np.testing.assert_allclose(scaler.transform(test),
+                               (test - train.mean(0)) / train.std(0),
+                               rtol=1e-9)
+
+
+def test_scaler_requires_fit(rng):
+    with pytest.raises(ShapeError):
+        FeatureScaler().transform(rng.normal(size=(3, 3)))
+
+
+def test_scaler_constant_feature_safe():
+    features = np.ones((10, 2))
+    scaled = FeatureScaler().fit_transform(features)
+    assert np.isfinite(scaled).all()

@@ -1,0 +1,120 @@
+"""Layer container semantics: traversal, training mode, composition."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    ParallelBranches,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers.base import Layer, Parameter
+
+
+def test_sequential_forward_order(rng):
+    """Layers run in insertion order (affine then clamp vs clamp then affine)."""
+    dense = Dense(2, 2, rng=rng)
+    dense.weight.value = -np.eye(2, dtype=np.float32)
+    dense.bias.value = np.zeros(2, dtype=np.float32)
+    x = np.array([[1.0, 2.0]], dtype=np.float32)
+    affine_then_relu = Sequential([dense, ReLU()]).forward(x)
+    np.testing.assert_allclose(affine_then_relu, [[0.0, 0.0]])
+    relu_then_affine = Sequential([ReLU(), dense]).forward(x)
+    np.testing.assert_allclose(relu_then_affine, [[-1.0, -2.0]])
+
+
+def test_sequential_add_chaining(rng):
+    net = Sequential()
+    result = net.add(Dense(3, 4, rng=rng)).add(ReLU())
+    assert result is net
+    assert len(net) == 2
+    assert isinstance(net[1], ReLU)
+
+
+def test_parameters_order_is_stable(rng):
+    net = Sequential([Dense(3, 4, rng=rng), BatchNorm(4),
+                      Dense(4, 2, rng=rng)])
+    names = [param.name for param in net.parameters()]
+    assert names == [param.name for param in net.parameters()]
+    # Dense weight/bias come before the batch-norm gamma/beta of layer 2.
+    assert "weight" in names[0]
+    assert "gamma" in names[2]
+
+
+def test_num_parameters_arithmetic(rng):
+    net = Sequential([Dense(3, 4, rng=rng), Dense(4, 2, rng=rng)])
+    assert net.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+
+def test_set_training_recurses_through_branches(rng):
+    dropout_a = Dropout(0.5, rng=rng)
+    dropout_b = Dropout(0.5, rng=rng)
+    net = Sequential([
+        ParallelBranches([Sequential([Conv2D(1, 1, 1, rng=rng), dropout_a]),
+                          Sequential([dropout_b])]),
+    ])
+    net.set_training(False)
+    assert not dropout_a.training
+    assert not dropout_b.training
+    net.set_training(True)
+    assert dropout_a.training and dropout_b.training
+
+
+def test_children_covers_lists_of_layers(rng):
+    branches = ParallelBranches([ReLU(), ReLU()])
+    assert len(list(branches.children())) == 2
+
+
+def test_layer_repr_readable(rng):
+    assert "Dense" in repr(Dense(2, 2, rng=rng))
+    assert "Sequential" in repr(Sequential([ReLU()]))
+    assert "Parameter" in repr(Parameter(np.zeros(2), "w"))
+
+
+def test_custom_layer_parameter_discovery():
+    """Parameters assigned as attributes are discovered automatically."""
+
+    class Custom(Layer):
+        def __init__(self):
+            super().__init__()
+            self.scale = Parameter(np.ones(3, dtype=np.float32), "scale")
+            self.inner = ReLU()
+
+        def forward(self, x):
+            return self.inner.forward(x * self.scale.value)
+
+        def backward(self, grad):
+            return self.inner.backward(grad) * self.scale.value
+
+    layer = Custom()
+    params = list(layer.parameters())
+    assert len(params) == 1
+    assert params[0].name == "scale"
+    assert list(layer.children()) == [layer.inner]
+
+
+def test_frozen_parameter_survives_optimizer_but_gets_grads(rng):
+    from repro.nn import SGD
+    dense = Dense(2, 2, rng=rng)
+    dense.weight.trainable = False
+    before = dense.weight.value.copy()
+    optimizer = SGD(list(dense.parameters()), learning_rate=1.0)
+    out = dense.forward(np.ones((1, 2), dtype=np.float32))
+    dense.backward(np.ones_like(out))
+    assert np.any(dense.weight.grad != 0)  # gradients still computed
+    optimizer.step()
+    np.testing.assert_array_equal(dense.weight.value, before)  # not updated
+    assert np.any(dense.bias.value != 0)  # bias did update
+
+
+def test_zero_grad_resets(rng):
+    dense = Dense(2, 3, rng=rng)
+    out = dense.forward(np.ones((2, 2), dtype=np.float32))
+    dense.backward(np.ones_like(out))
+    assert np.any(dense.weight.grad != 0)
+    dense.weight.zero_grad()
+    np.testing.assert_array_equal(dense.weight.grad, 0)

@@ -1,0 +1,77 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    ones,
+    orthogonal,
+    small_normal,
+    zeros,
+)
+
+
+def test_zeros_and_ones_values(rng):
+    assert np.all(zeros((3, 4), rng) == 0.0)
+    assert np.all(ones((3, 4), rng) == 1.0)
+
+
+def test_initializers_return_float32(rng):
+    for init in (zeros, ones, he_normal, glorot_uniform, orthogonal,
+                 small_normal):
+        assert init((4, 4), rng).dtype == np.float32
+
+
+def test_he_normal_std_scales_with_fan_in(rng):
+    fan_in = 400
+    weights = he_normal((fan_in, 300), rng)
+    expected = np.sqrt(2.0 / fan_in)
+    assert abs(weights.std() - expected) < 0.15 * expected
+
+
+def test_he_normal_conv_fan_in(rng):
+    # Conv kernel (out, in, kh, kw): fan_in = in * kh * kw.
+    weights = he_normal((64, 16, 3, 3), rng)
+    expected = np.sqrt(2.0 / (16 * 9))
+    assert abs(weights.std() - expected) < 0.15 * expected
+
+
+def test_glorot_uniform_bounds(rng):
+    weights = glorot_uniform((50, 70), rng)
+    limit = np.sqrt(6.0 / 120)
+    assert weights.max() <= limit
+    assert weights.min() >= -limit
+
+
+def test_orthogonal_rows_orthonormal(rng):
+    mat = orthogonal((8, 8), rng).astype(np.float64)
+    np.testing.assert_allclose(mat @ mat.T, np.eye(8), atol=1e-5)
+
+
+def test_orthogonal_rectangular(rng):
+    tall = orthogonal((10, 4), rng).astype(np.float64)
+    np.testing.assert_allclose(tall.T @ tall, np.eye(4), atol=1e-5)
+
+
+def test_orthogonal_rejects_1d(rng):
+    with pytest.raises(ConfigurationError):
+        orthogonal((5,), rng)
+
+
+def test_small_normal_is_small(rng):
+    weights = small_normal((200, 200), rng)
+    assert abs(weights.std() - 0.01) < 0.002
+
+
+def test_get_initializer_by_name_and_callable():
+    assert get_initializer("he_normal") is he_normal
+    assert get_initializer(he_normal) is he_normal
+
+
+def test_get_initializer_unknown_name():
+    with pytest.raises(ConfigurationError, match="unknown initializer"):
+        get_initializer("bogus")

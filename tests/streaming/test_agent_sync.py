@@ -1,0 +1,163 @@
+"""Collection agents and the clock-synchronization protocol."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AgentError, ConfigurationError
+from repro.streaming import (
+    Channel,
+    CollectionAgent,
+    ClockSynchronizer,
+    DriftingClock,
+    VirtualClock,
+    scripted_labeller,
+)
+from repro.streaming.records import SensorReading, SyncMessage
+from repro.streaming.sensors import SyntheticSensor
+
+
+def _make_agent(rng, clock=None, channel=None, **kwargs):
+    true = VirtualClock()
+    clock = clock or DriftingClock(true)
+    channel = channel or Channel(base_latency=0.001, rng=rng)
+    sensor = SyntheticSensor("s", 3, lambda t: np.zeros(3), rng=rng)
+    return CollectionAgent("phone", [sensor], clock, channel, **kwargs), \
+        true, channel
+
+
+def test_agent_polls_at_interval(rng):
+    agent, _, _ = _make_agent(rng, poll_interval=0.025,
+                              transmit_interval=10.0)
+    for step in range(100):
+        agent.step(step * 0.01)
+    # 1.0 second at 25 ms -> ~40 polls (first at t=0).
+    assert 38 <= agent.readings_taken <= 41
+
+
+def test_agent_batches_readings(rng):
+    agent, _, channel = _make_agent(rng, poll_interval=0.01,
+                                    transmit_interval=0.1)
+    for step in range(1, 30):
+        agent.step(step * 0.01)
+    delivered = channel.poll(10.0)
+    assert agent.batches_sent >= 2
+    total = sum(len(m.payload) for m in delivered)
+    assert total == agent.readings_taken - agent.buffered
+
+
+def test_agent_timestamps_use_local_clock(rng):
+    true = VirtualClock()
+    skewed = DriftingClock(true, initial_offset=5.0)
+    agent, _, channel = _make_agent(rng, clock=skewed)
+    agent.step(0.0)
+    agent.step(0.3)
+    delivered = channel.poll(10.0)
+    readings = [r for m in delivered for r in m.payload]
+    assert all(isinstance(r, SensorReading) for r in readings)
+    assert readings[0].timestamp >= 5.0  # local, not true time
+
+
+def test_agent_requires_sensors(rng):
+    true = VirtualClock()
+    with pytest.raises(AgentError):
+        CollectionAgent("x", [], DriftingClock(true),
+                        Channel(rng=rng))
+
+
+def test_agent_validates_intervals(rng):
+    true = VirtualClock()
+    sensor = SyntheticSensor("s", 1, lambda t: np.zeros(1), rng=rng)
+    with pytest.raises(ConfigurationError):
+        CollectionAgent("x", [sensor], DriftingClock(true),
+                        Channel(rng=rng), poll_interval=0.0)
+
+
+def test_agent_labels_readings(rng):
+    labeller = scripted_labeller([(0.0, 0.5, 3)])
+    agent, _, channel = _make_agent(rng, label_fn=labeller)
+    agent.step(0.0)
+    agent.step(0.6)
+    agent.step(1.0)
+    readings = [r for m in channel.poll(10.0) for r in m.payload]
+    labels = {r.label for r in readings}
+    assert 3 in labels and 0 in labels
+
+
+def test_scripted_labeller_segments():
+    label = scripted_labeller([(1.0, 2.0, 4), (3.0, 4.0, 5)])
+    assert label(0.5) == 0
+    assert label(1.5) == 4
+    assert label(2.5) == 0
+    assert label(3.0) == 5
+    assert label(4.0) == 0  # end-exclusive
+
+
+def test_scripted_labeller_rejects_overlap():
+    with pytest.raises(ConfigurationError):
+        scripted_labeller([(0.0, 2.0, 1), (1.0, 3.0, 2)])
+
+
+def test_handle_sync_sets_clock(rng):
+    agent, true, _ = _make_agent(rng)
+    agent.clock.set_time(99.0)
+    agent.handle_sync(SyncMessage(master_time=true.now()),
+                      estimated_latency=0.01)
+    assert abs(agent.clock.error() - 0.01) < 1e-9
+
+
+# -- synchronizer -------------------------------------------------------------
+
+def test_synchronizer_corrects_drift(rng):
+    true = VirtualClock()
+    clock = DriftingClock(true, drift_ppm=200.0, initial_offset=0.5)
+    down = Channel(base_latency=0.01, rng=rng)
+    sensor = SyntheticSensor("s", 1, lambda t: np.zeros(1), rng=rng)
+    agent = CollectionAgent("a", [sensor], clock,
+                            Channel(base_latency=0.01, rng=rng))
+    sync = ClockSynchronizer(agent, down, sync_interval=5.0)
+    for _ in range(1200):
+        now = true.advance(0.01)
+        sync.step(now, true.now())
+    assert sync.stats.syncs_applied >= 2
+    assert sync.worst_residual_error() < 0.02
+    assert abs(clock.error()) < 0.02
+
+
+def test_synchronizer_latency_compensation(rng):
+    """With zero jitter and a perfect estimate, residual error is ~0."""
+    true = VirtualClock()
+    clock = DriftingClock(true, initial_offset=2.0)
+    down = Channel(base_latency=0.05, jitter=0.0, rng=rng)
+    sensor = SyntheticSensor("s", 1, lambda t: np.zeros(1), rng=rng)
+    agent = CollectionAgent("a", [sensor], clock,
+                            Channel(base_latency=0.01, rng=rng))
+    sync = ClockSynchronizer(agent, down, sync_interval=1.0)
+    for _ in range(300):
+        now = true.advance(0.01)
+        sync.step(now, true.now())
+    # Residual = master_time staleness (one sim step) only.
+    assert sync.worst_residual_error() < 0.015
+
+
+def test_synchronizer_periodic_resync(rng):
+    true = VirtualClock()
+    clock = DriftingClock(true, drift_ppm=100.0)
+    down = Channel(base_latency=0.001, rng=rng)
+    sensor = SyntheticSensor("s", 1, lambda t: np.zeros(1), rng=rng)
+    agent = CollectionAgent("a", [sensor], clock,
+                            Channel(base_latency=0.001, rng=rng))
+    sync = ClockSynchronizer(agent, down, sync_interval=5.0)
+    for _ in range(2100):
+        now = true.advance(0.01)
+        sync.step(now, true.now())
+    # 21 seconds -> syncs at 0, 5, 10, 15, 20.
+    assert sync.stats.syncs_sent == 5
+
+
+def test_synchronizer_validates_interval(rng):
+    true = VirtualClock()
+    sensor = SyntheticSensor("s", 1, lambda t: np.zeros(1), rng=rng)
+    agent = CollectionAgent("a", [sensor], DriftingClock(true),
+                            Channel(rng=rng))
+    with pytest.raises(ConfigurationError):
+        ClockSynchronizer(agent, Channel(rng=rng), sync_interval=0.0)

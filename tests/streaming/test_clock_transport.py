@@ -1,0 +1,145 @@
+"""Virtual clocks, drifting clocks, and the simulated transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.streaming import Channel, DriftingClock, VirtualClock
+from repro.streaming.records import SyncMessage
+
+
+# -- clocks -----------------------------------------------------------------
+
+def test_virtual_clock_advances():
+    clock = VirtualClock()
+    assert clock.now() == 0.0
+    assert clock.advance(1.5) == 1.5
+    assert clock.now() == 1.5
+
+
+def test_virtual_clock_rejects_negative_advance():
+    with pytest.raises(ConfigurationError):
+        VirtualClock().advance(-1.0)
+
+
+def test_drifting_clock_initial_offset():
+    true = VirtualClock()
+    clock = DriftingClock(true, initial_offset=0.25)
+    assert clock.error() == pytest.approx(0.25)
+
+
+def test_drifting_clock_drift_accumulates():
+    true = VirtualClock()
+    clock = DriftingClock(true, drift_ppm=100.0)
+    true.advance(1000.0)
+    # 100 ppm over 1000 s = 0.1 s fast.
+    assert clock.error() == pytest.approx(0.1, rel=1e-6)
+
+
+def test_drifting_clock_set_time_resets_error():
+    true = VirtualClock()
+    clock = DriftingClock(true, drift_ppm=500.0, initial_offset=1.0)
+    true.advance(100.0)
+    clock.set_time(true.now())
+    assert clock.error() == pytest.approx(0.0, abs=1e-12)
+    true.advance(10.0)
+    assert clock.error() == pytest.approx(500e-6 * 10.0, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(-200, 200), st.floats(0, 100),
+       st.floats(-0.5, 0.5))
+def test_drifting_clock_error_formula(drift_ppm, elapsed, offset):
+    true = VirtualClock()
+    clock = DriftingClock(true, drift_ppm=drift_ppm, initial_offset=offset)
+    true.advance(elapsed)
+    expected = offset + elapsed * drift_ppm * 1e-6
+    assert clock.error() == pytest.approx(expected, abs=1e-9)
+
+
+# -- transport --------------------------------------------------------------
+
+def test_channel_delivers_after_latency(rng):
+    channel = Channel(base_latency=0.1, rng=rng)
+    channel.send("a", "b", SyncMessage(0.0), now=0.0)
+    assert channel.poll(0.05) == []
+    delivered = channel.poll(0.2)
+    assert len(delivered) == 1
+    assert delivered[0].latency == pytest.approx(0.1)
+
+
+def test_channel_zero_jitter_preserves_order(rng):
+    channel = Channel(base_latency=0.01, rng=rng)
+    for i in range(5):
+        channel.send("a", "b", SyncMessage(float(i)), now=i * 0.001)
+    delivered = channel.poll(1.0)
+    times = [m.payload.master_time for m in delivered]
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_channel_jitter_can_reorder():
+    rng = np.random.default_rng(3)
+    channel = Channel(base_latency=0.01, jitter=0.05, rng=rng)
+    for i in range(50):
+        channel.send("a", "b", SyncMessage(float(i)), now=i * 0.001)
+    delivered = channel.poll(10.0)
+    order = [m.payload.master_time for m in delivered]
+    assert sorted(order) == list(range(50))
+    assert order != sorted(order)  # at least one inversion
+
+
+def test_channel_drops(rng):
+    channel = Channel(drop_probability=0.5, rng=np.random.default_rng(0))
+    results = [channel.send("a", "b", SyncMessage(0.0), now=0.0)
+               for _ in range(200)]
+    dropped = sum(1 for r in results if r is None)
+    assert 60 < dropped < 140
+    assert channel.stats.dropped == dropped
+
+
+def test_channel_bandwidth_adds_serialization_delay(rng):
+    channel = Channel(base_latency=0.0, bandwidth_bps=8000.0, rng=rng)
+    # 1000 bytes at 8 kbps = 1 second.
+    assert channel.transit_delay(1000) == pytest.approx(1.0)
+
+
+def test_channel_stats_accumulate(rng):
+    channel = Channel(base_latency=0.01, rng=rng)
+    channel.send("a", "b", SyncMessage(0.0), now=0.0)
+    channel.send("a", "b", SyncMessage(1.0), now=0.0)
+    channel.poll(1.0)
+    assert channel.stats.sent == 2
+    assert channel.stats.delivered == 2
+    assert channel.stats.mean_latency() == pytest.approx(0.01)
+    assert channel.pending == 0
+
+
+def test_channel_validation():
+    with pytest.raises(ConfigurationError):
+        Channel(base_latency=-0.1)
+    with pytest.raises(ConfigurationError):
+        Channel(drop_probability=1.0)
+    with pytest.raises(ConfigurationError):
+        Channel(bandwidth_bps=0.0)
+
+
+def test_message_latency_requires_delivery(rng):
+    channel = Channel(base_latency=1.0, rng=rng)
+    message = channel.send("a", "b", SyncMessage(0.0), now=0.0)
+    from repro.exceptions import StreamingError
+    with pytest.raises(StreamingError):
+        _ = message.latency
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0, 10), min_size=1, max_size=30))
+def test_channel_never_delivers_early(send_times):
+    rng = np.random.default_rng(1)
+    channel = Channel(base_latency=0.05, jitter=0.01, rng=rng)
+    for t in sorted(send_times):
+        channel.send("a", "b", SyncMessage(t), now=t)
+    delivered = channel.poll(1e9)
+    for message in delivered:
+        assert message.delivered_at >= message.sent_at + 0.05

@@ -1,0 +1,218 @@
+"""Centralized controller and the end-to-end collection session."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ControllerError
+from repro.streaming import (
+    CentralizedController,
+    Channel,
+    CollectionAgent,
+    CollectionSession,
+    DriftingClock,
+    NetworkConditions,
+    ProcessingLocation,
+    ProcessingPolicy,
+    SessionConfig,
+    VirtualClock,
+    decide_processing,
+    scripted_labeller,
+)
+from repro.streaming.records import FrameRecord
+from repro.streaming.sensors import CameraSensor, SyntheticSensor
+
+
+def _controller_with_agent(rng, signal=None):
+    true = VirtualClock()
+    uplink = Channel(base_latency=0.005, rng=rng)
+    downlink = Channel(base_latency=0.005, rng=rng)
+    sensor = SyntheticSensor(
+        "accelerometer", 3,
+        signal or (lambda t: np.array([t, 0.0, 9.81])), rng=rng)
+    agent = CollectionAgent("phone", [sensor], DriftingClock(true), uplink,
+                            poll_interval=0.05, transmit_interval=0.2)
+    controller = CentralizedController(true, grid_period=0.25)
+    controller.register_agent(agent, uplink, downlink)
+    return true, agent, controller
+
+
+def test_controller_receives_and_orders(rng):
+    true, agent, controller = _controller_with_agent(rng)
+    for _ in range(600):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    assert controller.readings_received > 50
+    streams = controller.raw_streams()
+    timestamps, _ = streams["phone/accelerometer"]
+    assert np.all(np.diff(timestamps) >= 0)
+
+
+def test_controller_normalize_persists_to_tsdb(rng):
+    true, agent, controller = _controller_with_agent(rng)
+    for _ in range(600):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    grid, aligned = controller.normalize()
+    assert grid.shape[0] > 5
+    assert aligned["phone/accelerometer"].shape == (grid.shape[0], 3)
+    assert controller.tsdb.count("phone/accelerometer") == grid.shape[0]
+
+
+def test_controller_interpolation_recovers_linear_signal(rng):
+    """The x-axis signal is t; after align+smooth it must track the grid."""
+    true, agent, controller = _controller_with_agent(rng)
+    for _ in range(800):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    grid, aligned = controller.normalize()
+    x = aligned["phone/accelerometer"][:, 0]
+    # Local timestamps differ from true time by clock offset, but the
+    # signal is linear so interpolation error stays below the noise floor.
+    residual = np.abs(x - (grid - (grid - x).mean()))
+    assert residual.mean() < 0.2
+
+
+def test_controller_rejects_duplicate_agent(rng):
+    true, agent, controller = _controller_with_agent(rng)
+    with pytest.raises(ControllerError):
+        controller.register_agent(agent, Channel(rng=rng))
+
+
+def test_controller_normalize_without_data(rng):
+    controller = CentralizedController(VirtualClock())
+    with pytest.raises(ControllerError):
+        controller.normalize()
+
+
+def test_controller_frame_transform_hook(rng):
+    true = VirtualClock()
+    uplink = Channel(base_latency=0.001, rng=rng)
+    camera = CameraSensor(lambda t: np.ones((4, 4), dtype=np.float32))
+    agent = CollectionAgent("cam", [camera], DriftingClock(true), uplink,
+                            poll_interval=0.1, transmit_interval=0.2)
+
+    def halve(frame: FrameRecord) -> FrameRecord:
+        return FrameRecord(frame.agent_id, frame.timestamp,
+                           np.asarray(frame.image) * 0.5)
+
+    controller = CentralizedController(true, frame_transform=halve)
+    controller.register_agent(agent, uplink)
+    for _ in range(100):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    assert controller.frames
+    np.testing.assert_allclose(controller.frames[0].image, 0.5)
+
+
+def test_controller_grid_labels(rng):
+    true = VirtualClock()
+    uplink = Channel(base_latency=0.001, rng=rng)
+    sensor = SyntheticSensor("accelerometer", 3, lambda t: np.zeros(3),
+                             rng=rng)
+    labeller = scripted_labeller([(0.0, 1.0, 2)])
+    agent = CollectionAgent("phone", [sensor], DriftingClock(true), uplink,
+                            poll_interval=0.05, transmit_interval=0.1,
+                            label_fn=labeller)
+    controller = CentralizedController(true, grid_period=0.25)
+    controller.register_agent(agent, uplink)
+    for _ in range(300):
+        now = true.advance(0.01)
+        agent.step(now)
+        controller.step(now)
+    grid, _ = controller.normalize()
+    labels = controller.grid_labels(grid, "phone", "accelerometer")
+    assert set(labels.tolist()) <= {0, 2}
+    assert 2 in labels
+
+
+# -- processing decision -------------------------------------------------------
+
+def test_decide_processing_good_network():
+    conditions = NetworkConditions(bandwidth_bps=5e6, latency_s=0.02)
+    assert decide_processing(conditions) is ProcessingLocation.REMOTE
+
+
+@pytest.mark.parametrize("conditions", [
+    NetworkConditions(bandwidth_bps=1e4, latency_s=0.02),
+    NetworkConditions(bandwidth_bps=5e6, latency_s=2.0),
+    NetworkConditions(bandwidth_bps=5e6, latency_s=0.02, loss_rate=0.5),
+])
+def test_decide_processing_poor_network(conditions):
+    assert decide_processing(conditions) is ProcessingLocation.LOCAL
+
+
+def test_decide_processing_custom_policy():
+    conditions = NetworkConditions(bandwidth_bps=100.0, latency_s=0.01)
+    lenient = ProcessingPolicy(min_remote_bandwidth_bps=10.0)
+    assert decide_processing(conditions, lenient) is ProcessingLocation.REMOTE
+
+
+# -- full session ---------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def session_result():
+    def imu_signal(sensor, t):
+        return np.array([np.sin(t), 0.0, 9.81])
+
+    def frame_fn(t):
+        return np.full((6, 6), min(t / 10.0, 1.0), dtype=np.float32)
+
+    labeller = scripted_labeller([(1.0, 3.0, 2)])
+    session = CollectionSession(imu_signal, frame_fn, labeller,
+                                rng=np.random.default_rng(10))
+    return session.run(8.0), session
+
+
+def test_session_produces_aligned_imu(session_result):
+    result, _ = session_result
+    assert result.imu.shape[1] == 12  # 4 sensors x 3 axes
+    assert result.imu.shape[0] == result.grid.shape[0]
+    assert result.imu_labels.shape[0] == result.grid.shape[0]
+
+
+def test_session_grid_is_uniform(session_result):
+    result, _ = session_result
+    np.testing.assert_allclose(np.diff(result.grid), 0.25, atol=1e-9)
+
+
+def test_session_collects_frames(session_result):
+    result, _ = session_result
+    assert len(result.frames) >= 30  # 8 s at 5 fps
+    times = [f.timestamp for f in result.frames]
+    assert times == sorted(times)
+
+
+def test_session_clock_sync_quality(session_result):
+    _, session = session_result
+    report = session.controller.sync_report()
+    assert all(err < 0.05 for err in report.values())
+
+
+def test_session_labels_cover_script(session_result):
+    result, _ = session_result
+    assert 2 in result.imu_labels
+    assert 0 in result.imu_labels
+
+
+def test_session_rejects_nonpositive_duration():
+    session = CollectionSession(lambda s, t: np.zeros(3),
+                                lambda t: np.zeros((4, 4), dtype=np.float32),
+                                rng=np.random.default_rng(0))
+    with pytest.raises(ConfigurationError):
+        session.run(0.0)
+
+
+def test_session_with_packet_loss_still_aligns():
+    config = SessionConfig(channel_drop=0.2)
+    session = CollectionSession(
+        lambda s, t: np.array([0.0, 0.0, 9.81]),
+        lambda t: np.zeros((4, 4), dtype=np.float32),
+        config=config, rng=np.random.default_rng(11))
+    result = session.run(6.0)
+    assert result.imu.shape[0] > 0
+    stats = session.phone.channel.stats
+    assert stats.dropped > 0

@@ -1,0 +1,239 @@
+"""Controller-side normalization and the time-series database."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ShapeError, StreamingError
+from repro.streaming import (
+    SlidingMovingAverage,
+    TimeSeriesDatabase,
+    align_streams,
+    interpolate_to_grid,
+    make_grid,
+)
+
+
+# -- interpolation ------------------------------------------------------------
+
+def test_interpolation_exact_on_grid_points():
+    timestamps = np.array([0.0, 1.0, 2.0])
+    values = np.array([10.0, 20.0, 30.0])
+    out = interpolate_to_grid(timestamps, values, timestamps)
+    np.testing.assert_allclose(out, values)
+
+
+def test_interpolation_linear_midpoints():
+    out = interpolate_to_grid(np.array([0.0, 1.0]), np.array([0.0, 10.0]),
+                              np.array([0.5]))
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_interpolation_multidim():
+    timestamps = np.array([0.0, 2.0])
+    values = np.array([[0.0, 100.0], [2.0, 300.0]])
+    out = interpolate_to_grid(timestamps, values, np.array([1.0]))
+    np.testing.assert_allclose(out, [[1.0, 200.0]])
+
+
+def test_interpolation_sorts_unordered_input():
+    timestamps = np.array([2.0, 0.0, 1.0])
+    values = np.array([20.0, 0.0, 10.0])
+    out = interpolate_to_grid(timestamps, values, np.array([0.5, 1.5]))
+    np.testing.assert_allclose(out, [5.0, 15.0])
+
+
+def test_interpolation_validates(rng):
+    with pytest.raises(ShapeError):
+        interpolate_to_grid(np.array([]), np.array([]), np.array([0.0]))
+    with pytest.raises(ShapeError):
+        interpolate_to_grid(np.array([0.0]), np.array([1.0, 2.0]),
+                            np.array([0.0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0, 100), min_size=2, max_size=20, unique=True))
+def test_interpolation_recovers_linear_signal(times):
+    """Interpolating a linear function is exact inside the support."""
+    times = np.sort(np.array(times))
+    values = 3.0 * times + 1.0
+    grid = np.linspace(times[0], times[-1], 7)
+    out = interpolate_to_grid(times, values, grid)
+    np.testing.assert_allclose(out, 3.0 * grid + 1.0, rtol=1e-9, atol=1e-9)
+
+
+def test_make_grid():
+    grid = make_grid(1.0, 2.0, 0.25)
+    np.testing.assert_allclose(grid, [1.0, 1.25, 1.5, 1.75, 2.0])
+
+
+def test_make_grid_validates():
+    with pytest.raises(ConfigurationError):
+        make_grid(0.0, 1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        make_grid(2.0, 1.0, 0.5)
+
+
+# -- smoothing --------------------------------------------------------------
+
+def test_moving_average_constant_signal():
+    sma = SlidingMovingAverage(4)
+    for _ in range(10):
+        out = sma.update(5.0)
+    np.testing.assert_allclose(out, [5.0])
+
+
+def test_moving_average_window_math():
+    sma = SlidingMovingAverage(3)
+    outputs = [float(sma.update(v)[0]) for v in [3.0, 6.0, 9.0, 12.0]]
+    assert outputs == [3.0, 4.5, 6.0, 9.0]
+
+
+def test_moving_average_suppresses_spike():
+    sma = SlidingMovingAverage(5)
+    signal = [1.0, 1.0, 1.0, 100.0, 1.0, 1.0]
+    smoothed = sma.smooth_series(np.array(signal))
+    assert smoothed.max() < 30.0
+
+
+def test_moving_average_vector_samples():
+    sma = SlidingMovingAverage(2)
+    sma.update(np.array([1.0, 2.0]))
+    out = sma.update(np.array([3.0, 4.0]))
+    np.testing.assert_allclose(out, [2.0, 3.0])
+
+
+def test_moving_average_shape_change_rejected():
+    sma = SlidingMovingAverage(2)
+    sma.update(np.array([1.0, 2.0]))
+    with pytest.raises(ShapeError):
+        sma.update(np.array([1.0, 2.0, 3.0]))
+
+
+def test_moving_average_validates_window():
+    with pytest.raises(ConfigurationError):
+        SlidingMovingAverage(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-10, 10), min_size=1, max_size=30),
+       st.integers(1, 8))
+def test_moving_average_bounded_by_input_range(values, window):
+    sma = SlidingMovingAverage(window)
+    smoothed = sma.smooth_series(np.array(values))
+    assert smoothed.min() >= min(values) - 1e-9
+    assert smoothed.max() <= max(values) + 1e-9
+
+
+# -- align_streams -------------------------------------------------------------
+
+def test_align_streams_intersection_support():
+    streams = {
+        "a": (np.array([0.0, 10.0]), np.array([0.0, 10.0])),
+        "b": (np.array([2.0, 8.0]), np.array([20.0, 80.0])),
+    }
+    grid, aligned = align_streams(streams, period=1.0)
+    assert grid[0] == 2.0 and grid[-1] == 8.0
+    assert aligned["a"].shape == grid.shape
+    np.testing.assert_allclose(aligned["a"], grid)  # linear signal
+
+
+def test_align_streams_rejects_disjoint():
+    streams = {
+        "a": (np.array([0.0, 1.0]), np.array([0.0, 1.0])),
+        "b": (np.array([5.0, 6.0]), np.array([0.0, 1.0])),
+    }
+    with pytest.raises(ConfigurationError):
+        align_streams(streams, period=0.5)
+
+
+def test_align_streams_empty_inputs():
+    with pytest.raises(ConfigurationError):
+        align_streams({}, period=1.0)
+    with pytest.raises(ShapeError):
+        align_streams({"a": (np.array([]), np.array([]))}, period=1.0)
+
+
+# -- tsdb --------------------------------------------------------------------
+
+def test_tsdb_insert_query():
+    db = TimeSeriesDatabase()
+    db.insert("s", 1.0, 10.0)
+    db.insert("s", 3.0, 30.0)
+    db.insert("s", 2.0, 20.0)  # out of order
+    points = db.query("s")
+    assert [p.timestamp for p in points] == [1.0, 2.0, 3.0]
+
+
+def test_tsdb_range_query():
+    db = TimeSeriesDatabase()
+    for t in range(10):
+        db.insert("s", float(t), float(t))
+    points = db.query("s", start=2.5, end=6.5)
+    assert [p.timestamp for p in points] == [3.0, 4.0, 5.0, 6.0]
+
+
+def test_tsdb_unknown_series():
+    with pytest.raises(StreamingError):
+        TimeSeriesDatabase().query("nope")
+
+
+def test_tsdb_as_arrays_with_labels():
+    db = TimeSeriesDatabase()
+    db.insert("s", 0.0, [1.0, 2.0], label=3)
+    db.insert("s", 1.0, [3.0, 4.0])
+    timestamps, values, labels = db.as_arrays("s")
+    assert values.shape == (2, 2)
+    np.testing.assert_array_equal(labels, [3, -1])
+
+
+def test_tsdb_aggregate_mean():
+    db = TimeSeriesDatabase()
+    for t, v in [(0.1, 1.0), (0.2, 3.0), (1.1, 10.0)]:
+        db.insert("s", t, v)
+    starts, values = db.aggregate("s", bucket=1.0, statistic="mean",
+                                  start=0.0)
+    np.testing.assert_allclose(starts, [0.0, 1.0])
+    np.testing.assert_allclose(values.ravel(), [2.0, 10.0])
+
+
+def test_tsdb_aggregate_count_and_last():
+    db = TimeSeriesDatabase()
+    for t in [0.0, 0.5, 0.9]:
+        db.insert("s", t, t)
+    _, counts = db.aggregate("s", bucket=1.0, statistic="count")
+    assert counts.ravel().tolist() == [3.0]
+    _, last = db.aggregate("s", bucket=1.0, statistic="last")
+    np.testing.assert_allclose(last.ravel(), [0.9])
+
+
+def test_tsdb_aggregate_validation():
+    db = TimeSeriesDatabase()
+    db.insert("s", 0.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        db.aggregate("s", bucket=0.0)
+    with pytest.raises(ConfigurationError):
+        db.aggregate("s", bucket=1.0, statistic="median")
+
+
+def test_tsdb_insert_many_and_clear(rng):
+    db = TimeSeriesDatabase()
+    db.insert_many("s", np.arange(5.0), rng.random((5, 2)))
+    assert db.count("s") == 5
+    db.clear("s")
+    assert db.count("s") == 0
+    db.insert("a", 0.0, 1.0)
+    db.insert("b", 0.0, 1.0)
+    db.clear()
+    assert db.series_names() == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0, 100), min_size=1, max_size=40))
+def test_tsdb_is_always_time_sorted(times):
+    db = TimeSeriesDatabase()
+    for t in times:
+        db.insert("s", t, t)
+    stored = [p.timestamp for p in db.query("s")]
+    assert stored == sorted(stored)

@@ -1,0 +1,111 @@
+"""Records, payload sizing, and simulated sensors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamingError
+from repro.streaming import (
+    CameraSensor,
+    FrameRecord,
+    SensorReading,
+    SyntheticSensor,
+    accelerometer,
+    gravity,
+    gyroscope,
+    rotation,
+)
+from repro.streaming.records import SyncMessage, payload_size
+
+
+def test_sensor_reading_roundtrip():
+    reading = SensorReading.create("phone", "accelerometer", 1.25,
+                                   np.array([1.0, 2.0, 3.0]), label=2)
+    restored = SensorReading.from_dict(reading.to_dict())
+    assert restored == reading
+
+
+def test_sensor_reading_from_dict_missing_key():
+    with pytest.raises(StreamingError):
+        SensorReading.from_dict({"agent_id": "x"})
+
+
+def test_frame_record_image_readonly(rng):
+    frame = FrameRecord("dashcam", 0.0, rng.random((4, 4)))
+    with pytest.raises(ValueError):
+        frame.image[0, 0] = 1.0
+
+
+def test_frame_record_nbytes(rng):
+    frame = FrameRecord("dashcam", 0.0,
+                        rng.random((8, 8)).astype(np.float32))
+    assert frame.nbytes == 8 * 8 * 4
+
+
+def test_payload_size_scales_with_image(rng):
+    small = FrameRecord("d", 0.0, rng.random((4, 4)).astype(np.float32))
+    large = FrameRecord("d", 0.0, rng.random((16, 16)).astype(np.float32))
+    assert payload_size(large) > payload_size(small)
+    assert payload_size([small, small]) > 2 * payload_size(small) - 100
+
+
+def test_payload_size_sync_is_small():
+    assert payload_size(SyncMessage(0.0)) == 16
+
+
+def test_synthetic_sensor_clean_signal(rng):
+    sensor = SyntheticSensor("s", 3, lambda t: np.array([t, 2 * t, 3 * t]),
+                             noise_std=0.0, rng=rng)
+    np.testing.assert_allclose(sensor.sample(2.0), [2.0, 4.0, 6.0])
+
+
+def test_synthetic_sensor_noise_statistics():
+    rng = np.random.default_rng(0)
+    sensor = SyntheticSensor("s", 1, lambda t: np.zeros(1), noise_std=0.5,
+                             rng=rng)
+    samples = np.array([sensor.sample(0.0)[0] for _ in range(2000)])
+    assert abs(samples.std() - 0.5) < 0.05
+    assert abs(samples.mean()) < 0.05
+
+
+def test_synthetic_sensor_bias(rng):
+    sensor = SyntheticSensor("s", 2, lambda t: np.zeros(2),
+                             bias=np.array([1.0, -1.0]), rng=rng)
+    np.testing.assert_allclose(sensor.sample(0.0), [1.0, -1.0])
+
+
+def test_synthetic_sensor_validates_dimension(rng):
+    with pytest.raises(ConfigurationError):
+        SyntheticSensor("s", 0, lambda t: np.zeros(0), rng=rng)
+    sensor = SyntheticSensor("s", 3, lambda t: np.zeros(2), rng=rng)
+    with pytest.raises(ConfigurationError):
+        sensor.sample(0.0)
+
+
+def test_synthetic_sensor_bias_shape_validation(rng):
+    with pytest.raises(ConfigurationError):
+        SyntheticSensor("s", 3, lambda t: np.zeros(3),
+                        bias=np.array([1.0]), rng=rng)
+
+
+@pytest.mark.parametrize("factory,name", [
+    (accelerometer, "accelerometer"), (gyroscope, "gyroscope"),
+    (gravity, "gravity"), (rotation, "rotation"),
+])
+def test_imu_sensor_factories(rng, factory, name):
+    sensor = factory(lambda t: np.zeros(3), rng=rng)
+    assert sensor.name == name
+    assert sensor.dimension == 3
+    assert sensor.sample(0.0).shape == (3,)
+
+
+def test_camera_sensor(rng):
+    camera = CameraSensor(lambda t: np.full((6, 6), t, dtype=np.float32))
+    frame = camera.sample(0.5)
+    assert frame.shape == (6, 6)
+    np.testing.assert_allclose(frame, 0.5)
+
+
+def test_camera_rejects_bad_frame():
+    camera = CameraSensor(lambda t: np.zeros(5))
+    with pytest.raises(ConfigurationError):
+        camera.sample(0.0)

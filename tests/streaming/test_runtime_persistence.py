@@ -1,0 +1,153 @@
+"""Processing placement runtimes and sensor-data persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SerializationError
+from repro.streaming import (
+    ComputeProfile,
+    LocalRuntime,
+    NetworkConditions,
+    ProcessingLocation,
+    ProcessingPolicy,
+    RemoteRuntime,
+    Channel,
+    SensorReading,
+    TimeSeriesDatabase,
+    choose_runtime,
+    frame_payload_bytes,
+    load_readings_jsonl,
+    load_tsdb,
+    placement_sweep,
+    save_readings_jsonl,
+    save_tsdb,
+)
+
+
+# -- runtimes ---------------------------------------------------------------
+
+def test_local_runtime_has_no_network_legs():
+    runtime = LocalRuntime(ComputeProfile(seconds_per_frame=0.01,
+                                          slowdown=8.0))
+    timing = runtime.verdict_timing(10_000, 1_000)
+    assert timing.uplink_seconds == 0.0
+    assert timing.downlink_seconds == 0.0
+    assert timing.inference_seconds == pytest.approx(0.08)
+    assert timing.total_seconds == pytest.approx(0.08)
+
+
+def test_remote_runtime_pays_transmission(rng):
+    uplink = Channel("up", base_latency=0.01, bandwidth_bps=1e6, rng=rng)
+    downlink = Channel("down", base_latency=0.01, rng=rng)
+    runtime = RemoteRuntime(uplink, downlink, ComputeProfile(0.004))
+    timing = runtime.verdict_timing(frame_payload_bytes(64), 960)
+    assert timing.uplink_seconds > 0.01  # latency + serialization
+    assert timing.total_seconds > timing.inference_seconds
+
+
+def test_frame_payload_bytes():
+    assert frame_payload_bytes(64) == 64 * 64 * 4 + 64
+    with pytest.raises(ConfigurationError):
+        frame_payload_bytes(0)
+
+
+def test_choose_runtime_matches_policy(rng):
+    good = NetworkConditions(bandwidth_bps=1e7, latency_s=0.01)
+    bad = NetworkConditions(bandwidth_bps=1e4, latency_s=1.0)
+    assert choose_runtime(good, rng=rng).location is ProcessingLocation.REMOTE
+    assert choose_runtime(bad, rng=rng).location is ProcessingLocation.LOCAL
+
+
+def test_choose_runtime_applies_local_slowdown(rng):
+    policy = ProcessingPolicy(local_slowdown=16.0)
+    bad = NetworkConditions(bandwidth_bps=1e3, latency_s=2.0)
+    runtime = choose_runtime(bad, policy=policy, rng=rng)
+    assert isinstance(runtime, LocalRuntime)
+    assert runtime.compute.slowdown == 16.0
+
+
+def test_placement_sweep_crossover(rng):
+    """Remote wins at high bandwidth, local wins at very low bandwidth."""
+    rows = placement_sweep([1e3, 1e5, 1e7, 1e9], latency_s=0.005,
+                           rng=rng)
+    assert rows[0]["local_seconds"] < rows[0]["remote_seconds"]
+    assert rows[-1]["remote_seconds"] < rows[-1]["local_seconds"]
+    # Remote latency monotonically improves with bandwidth.
+    remote = [row["remote_seconds"] for row in rows]
+    assert remote == sorted(remote, reverse=True)
+
+
+def test_placement_sweep_decisions_follow_policy(rng):
+    rows = placement_sweep([1e3, 1e8], rng=rng)
+    assert rows[0]["decision"] == "local"
+    assert rows[1]["decision"] == "remote"
+
+
+# -- persistence ----------------------------------------------------------
+
+def test_readings_jsonl_roundtrip(tmp_path):
+    readings = [
+        SensorReading.create("phone", "accelerometer", 0.1, [1.0, 2.0, 3.0],
+                             label=2),
+        SensorReading.create("phone", "gyroscope", 0.2, [0.1, 0.2, 0.3]),
+    ]
+    path = os.path.join(tmp_path, "session.jsonl")
+    assert save_readings_jsonl(readings, path) == 2
+    restored = load_readings_jsonl(path)
+    assert restored == readings
+
+
+def test_readings_jsonl_missing_file(tmp_path):
+    with pytest.raises(SerializationError):
+        load_readings_jsonl(os.path.join(tmp_path, "nope.jsonl"))
+
+
+def test_readings_jsonl_malformed_line(tmp_path):
+    path = os.path.join(tmp_path, "bad.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json\n")
+    with pytest.raises(SerializationError, match="malformed"):
+        load_readings_jsonl(path)
+
+
+def test_tsdb_snapshot_roundtrip(tmp_path, rng):
+    db = TimeSeriesDatabase()
+    db.insert("a/x", 0.0, [1.0, 2.0], label=3)
+    db.insert("a/x", 1.0, [3.0, 4.0])
+    db.insert("b/y", 0.5, 7.0)
+    path = os.path.join(tmp_path, "snapshot.npz")
+    save_tsdb(db, path)
+    restored = load_tsdb(path)
+    assert restored.series_names() == ["a/x", "b/y"]
+    timestamps, values, labels = restored.as_arrays("a/x")
+    np.testing.assert_allclose(timestamps, [0.0, 1.0])
+    np.testing.assert_allclose(values, [[1.0, 2.0], [3.0, 4.0]])
+    np.testing.assert_array_equal(labels, [3, -1])
+
+
+def test_tsdb_snapshot_rejects_foreign_npz(tmp_path):
+    path = os.path.join(tmp_path, "other.npz")
+    np.savez(path, something=np.zeros(3))
+    with pytest.raises(SerializationError):
+        load_tsdb(path)
+
+
+def test_tsdb_snapshot_missing(tmp_path):
+    with pytest.raises(SerializationError):
+        load_tsdb(os.path.join(tmp_path, "missing.npz"))
+
+
+def test_session_tsdb_survives_snapshot(tmp_path):
+    """Snapshot a real collection session's database and reload it."""
+    from repro.core import DriveScript, run_collection_drive
+    from repro.datasets import DrivingBehavior
+    script = DriveScript.standard([DrivingBehavior.TALKING],
+                                  segment_seconds=3.0)
+    result = run_collection_drive(script, rng=np.random.default_rng(3))
+    path = os.path.join(tmp_path, "drive.npz")
+    save_tsdb(result.tsdb, path)
+    restored = load_tsdb(path)
+    for series in result.tsdb.series_names():
+        assert restored.count(series) == result.tsdb.count(series)
