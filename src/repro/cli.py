@@ -7,6 +7,8 @@ Subcommands mirror the system's lifecycle:
 * ``evaluate``  — evaluate a saved ensemble on fresh synthetic data.
 * ``reproduce`` — run a paper table/figure experiment and print the
   paper-vs-measured report.
+* ``chaos``     — run the scripted fault-injection drive and print the
+  fault-tolerance report.
 """
 
 from __future__ import annotations
@@ -113,6 +115,50 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.streaming import run_chaos_drive
+
+    print(f"Running the scripted chaos drive ({args.duration:.0f} s, "
+          f"seed {args.seed})...")
+    report = run_chaos_drive(duration=args.duration, seed=args.seed)
+    print("\n== Transport ==")
+    print(f"IMU tuples: {report.imu_arrived}/{report.imu_taken} delivered "
+          f"({report.imu_delivery_ratio * 100:.2f}%)")
+    phone, dashcam = report.phone_sender_stats, report.dashcam_sender_stats
+    print(f"phone sender: {phone.sent} sent, {phone.retransmissions} "
+          f"retransmitted, {phone.shed_data} shed, {phone.abandoned} "
+          f"abandoned")
+    print(f"dashcam sender: {dashcam.sent} sent, {dashcam.retransmissions} "
+          f"retransmitted, {dashcam.shed_frames} frames shed")
+    print("\n== Health ==")
+    for agent_id, state in report.agent_states.items():
+        print(f"{agent_id}: {state.value} at end of drive")
+    print(f"quarantined at some point: "
+          f"{report.health['ever_quarantined'] or 'none'}")
+    print(f"fault counts: {report.health['fault_counts']}")
+    print(f"readings quarantined: {report.readings_quarantined}")
+    print("\n== Placement ==")
+    for when, location in report.breaker_transitions:
+        print(f"t={when:6.2f}s  -> {location.value}")
+    print(f"final placement: {report.breaker_location}")
+    print("\n== Privacy ==")
+    print(f"escalations: {report.privacy_escalations}, "
+          f"relaxations: {report.privacy_relaxations}, "
+          f"final level: {report.final_privacy_level or 'undistorted'}")
+    if report.first_escalation_at is not None:
+        print(f"first escalation at t={report.first_escalation_at:.2f}s")
+    print("\n== Verdict windows ==")
+    for window in report.windows:
+        flag = (f"DEGRADED (missing {', '.join(window.missing)})"
+                if window.degraded else "full fidelity")
+        print(f"[{window.start:5.1f}, {window.end:5.1f})  "
+              f"imu={window.imu_readings:4d}  frames={window.frames:2d}  "
+              f"{flag}")
+    print(f"\n{report.degraded_windows}/{len(report.windows)} windows "
+          f"degraded; every window still receives a verdict.")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -149,6 +195,12 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["smoke", "default", "full"])
     reproduce.add_argument("--seed", type=int, default=0)
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    chaos = sub.add_parser("chaos",
+                           help="run the scripted fault-injection drive")
+    chaos.add_argument("--duration", type=float, default=30.0)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -24,6 +24,7 @@ from repro.core.bayesian import (
 from repro.core.ensemble import (
     ARCHITECTURES,
     DarNetEnsemble,
+    DegradedPrediction,
     EnsembleResult,
     SvmImuClassifier,
 )
@@ -67,7 +68,8 @@ __all__ = [
     "ImuSequenceRNN", "RnnConfig", "build_imu_rnn",
     "BayesianNetworkCombiner", "AveragingCombiner", "ProductCombiner",
     "MaxConfidenceCombiner", "expand_imu_probs", "DarNetEnsemble",
-    "EnsembleResult", "SvmImuClassifier", "ARCHITECTURES", "PrivacyLevel",
+    "DegradedPrediction", "EnsembleResult", "SvmImuClassifier",
+    "ARCHITECTURES", "PrivacyLevel",
     "DistortionModule", "nearest_neighbor_resize", "restore_size",
     "distort_restore", "DenoisingCNN", "DistillationConfig",
     "train_privacy_suite", "AnalyticsEngine", "ModalityModel", "StreamModel",

@@ -59,6 +59,8 @@ class BayesianNetworkCombiner:
         self.num_imu_classes = int(num_imu_classes)
         self.laplace = float(laplace)
         self._cpt: np.ndarray | None = None  # (cnn, imu, true)
+        self._cnn_prior: np.ndarray | None = None
+        self._imu_prior: np.ndarray | None = None
 
     def fit(self, cnn_predictions: np.ndarray, imu_predictions: np.ndarray,
             true_labels: np.ndarray) -> "BayesianNetworkCombiner":
@@ -80,6 +82,13 @@ class BayesianNetworkCombiner:
         np.add.at(counts, (cnn_predictions, imu_predictions, true_labels), 1.0)
         counts += self.laplace
         self._cpt = counts / counts.sum(axis=2, keepdims=True)
+        # Parent marginals, kept for degraded-mode inference: when one
+        # modality's stream dies, its verdict distribution is replaced by
+        # the training-time prior and the BN marginalizes over it.
+        cnn_marginal = counts.sum(axis=(1, 2))
+        imu_marginal = counts.sum(axis=(0, 2))
+        self._cnn_prior = cnn_marginal / cnn_marginal.sum()
+        self._imu_prior = imu_marginal / imu_marginal.sum()
         return self
 
     @property
@@ -89,19 +98,60 @@ class BayesianNetworkCombiner:
             raise NotFittedError("combiner used before fit()")
         return self._cpt
 
-    def predict_proba(self, cnn_probs: np.ndarray,
-                      imu_probs: np.ndarray) -> np.ndarray:
-        """Combined behaviour-class distribution per sample."""
-        cnn_probs = _check_probs(cnn_probs, self.num_classes, "cnn_probs")
-        imu_probs = _check_probs(imu_probs, self.num_imu_classes, "imu_probs")
-        if cnn_probs.shape[0] != imu_probs.shape[0]:
-            raise ShapeError("cnn/imu batches differ in length")
-        combined = np.einsum("ni,nj,ijc->nc", cnn_probs, imu_probs, self.cpt)
+    def cnn_prior(self) -> np.ndarray:
+        """Training-time marginal of the CNN parent (uniform pre-priors)."""
+        if self._cnn_prior is not None:
+            return self._cnn_prior
+        return np.full(self.num_classes, 1.0 / self.num_classes)
+
+    def imu_prior(self) -> np.ndarray:
+        """Training-time marginal of the IMU parent (uniform pre-priors)."""
+        if self._imu_prior is not None:
+            return self._imu_prior
+        return np.full(self.num_imu_classes, 1.0 / self.num_imu_classes)
+
+    def predict_proba(self, cnn_probs: np.ndarray | None,
+                      imu_probs: np.ndarray | None) -> np.ndarray:
+        """Combined behaviour-class distribution per sample.
+
+        Either parent distribution may be ``None`` when its stream is
+        unavailable: the BN then marginalizes the CPT over that parent's
+        training-time prior instead of collapsing — the degraded-mode
+        verdict path.  Passing both as ``None`` is an error.
+        """
+        if cnn_probs is None and imu_probs is None:
+            raise ConfigurationError(
+                "at least one of cnn_probs/imu_probs is required")
+        if imu_probs is None:
+            cnn_probs = _check_probs(cnn_probs, self.num_classes, "cnn_probs")
+            combined = np.einsum("ni,j,ijc->nc", cnn_probs,
+                                 self.imu_prior(), self.cpt)
+        elif cnn_probs is None:
+            imu_probs = _check_probs(imu_probs, self.num_imu_classes,
+                                     "imu_probs")
+            combined = np.einsum("i,nj,ijc->nc", self.cnn_prior(),
+                                 imu_probs, self.cpt)
+        else:
+            cnn_probs = _check_probs(cnn_probs, self.num_classes, "cnn_probs")
+            imu_probs = _check_probs(imu_probs, self.num_imu_classes,
+                                     "imu_probs")
+            if cnn_probs.shape[0] != imu_probs.shape[0]:
+                raise ShapeError("cnn/imu batches differ in length")
+            combined = np.einsum("ni,nj,ijc->nc", cnn_probs, imu_probs,
+                                 self.cpt)
         totals = combined.sum(axis=1, keepdims=True)
         return combined / np.maximum(totals, 1e-12)
 
-    def predict(self, cnn_probs: np.ndarray,
-                imu_probs: np.ndarray) -> np.ndarray:
+    def predict_proba_cnn_only(self, cnn_probs: np.ndarray) -> np.ndarray:
+        """Degraded-mode posterior when the IMU stream is missing."""
+        return self.predict_proba(cnn_probs, None)
+
+    def predict_proba_imu_only(self, imu_probs: np.ndarray) -> np.ndarray:
+        """Degraded-mode posterior when the frame stream is missing."""
+        return self.predict_proba(None, imu_probs)
+
+    def predict(self, cnn_probs: np.ndarray | None,
+                imu_probs: np.ndarray | None) -> np.ndarray:
         """Hard combined verdicts."""
         return self.predict_proba(cnn_probs, imu_probs).argmax(axis=1)
 

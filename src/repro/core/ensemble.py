@@ -91,6 +91,23 @@ class EnsembleResult:
     extras: dict = field(default_factory=dict)
 
 
+@dataclass
+class DegradedPrediction:
+    """A verdict batch annotated with its degradation status.
+
+    ``degraded`` is true when a modality the architecture normally uses
+    was unavailable and the posterior fell back to BN marginalization;
+    ``missing`` names the absent streams, and ``confidence`` is the
+    per-sample max posterior (systematically lower under degradation).
+    """
+
+    probabilities: np.ndarray
+    predictions: np.ndarray
+    confidence: np.ndarray
+    degraded: bool
+    missing: tuple[str, ...] = ()
+
+
 class DarNetEnsemble:
     """End-to-end classifier over paired (frame, IMU-window) samples.
 
@@ -170,6 +187,57 @@ class DarNetEnsemble:
     def predict(self, dataset: DrivingDataset) -> np.ndarray:
         """Hard behaviour predictions."""
         return self.predict_proba(dataset).argmax(axis=1)
+
+    def predict_degraded(self, *, images: np.ndarray | None = None,
+                         imu: np.ndarray | None = None
+                         ) -> DegradedPrediction:
+        """Classify with whatever streams survived, flagging degradation.
+
+        This is the verdict path the controller uses when health
+        supervision reports a dead stream mid-drive: with ``imu`` missing
+        the BN marginalizes over the IMU parent's prior (CNN-only
+        posterior); with ``images`` missing it marginalizes over the CNN
+        parent (IMU-only posterior).  Verdicts are always emitted — a
+        distracted-driving monitor that goes quiet when a sensor dies is
+        worse than one that answers with honest, flagged uncertainty.
+
+        Args:
+            images: NCHW frame batch, or ``None`` if the stream is down.
+            imu: (n, steps, 12) window batch, or ``None`` if down.
+        """
+        if not self._fitted:
+            raise NotFittedError("ensemble used before fit()")
+        if images is None and imu is None:
+            raise ConfigurationError(
+                "cannot classify: both streams are missing")
+        if images is None and self.imu_model is None:
+            raise ConfigurationError(
+                f"architecture {self.architecture!r} has no IMU model to "
+                "fall back on without frames")
+        missing: tuple[str, ...] = ()
+        if images is not None and (imu is not None or self.imu_model is None):
+            # Full-fidelity path: everything the architecture uses is here.
+            cnn_probs = self.cnn.predict_proba(images)
+            if self.imu_model is None:
+                probs = cnn_probs
+            else:
+                probs = self.combiner.predict_proba(
+                    cnn_probs, self.imu_model.predict_proba(imu))
+        elif imu is None:
+            missing = ("imu",)
+            probs = self.combiner.predict_proba_cnn_only(
+                self.cnn.predict_proba(images))
+        else:
+            missing = ("frames",)
+            probs = self.combiner.predict_proba_imu_only(
+                self.imu_model.predict_proba(imu))
+        return DegradedPrediction(
+            probabilities=probs,
+            predictions=probs.argmax(axis=1),
+            confidence=probs.max(axis=1),
+            degraded=bool(missing),
+            missing=missing,
+        )
 
     def evaluate(self, dataset: DrivingDataset) -> EnsembleResult:
         """Full evaluation: Top-1, confusion matrix, raw probabilities."""

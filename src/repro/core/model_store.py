@@ -66,7 +66,9 @@ def save_ensemble(ensemble: DarNetEnsemble, directory: str) -> None:
     if ensemble.imu_model is not None:
         np.savez(os.path.join(directory, "combiner.npz"),
                  cpt=ensemble.combiner.cpt,
-                 laplace=np.array(ensemble.combiner.laplace))
+                 laplace=np.array(ensemble.combiner.laplace),
+                 cnn_prior=ensemble.combiner.cnn_prior(),
+                 imu_prior=ensemble.combiner.imu_prior())
     with open(os.path.join(directory, "manifest.json"), "w",
               encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
@@ -108,6 +110,11 @@ def load_ensemble(directory: str, *,
                 data["cpt"].shape[0], data["cpt"].shape[1],
                 laplace=float(data["laplace"]))
             combiner._cpt = data["cpt"]
+            # Parent priors are absent in pre-degraded-mode saves; the
+            # combiner then falls back to uniform marginals.
+            if "cnn_prior" in data.files:
+                combiner._cnn_prior = data["cnn_prior"]
+                combiner._imu_prior = data["imu_prior"]
         ensemble.combiner = combiner
     ensemble._fitted = True
     return ensemble

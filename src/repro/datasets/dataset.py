@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.classes import (
-    NUM_BEHAVIOR_CLASSES,
     DrivingBehavior,
     scaled_frame_counts,
     to_imu_class,

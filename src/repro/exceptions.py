@@ -42,3 +42,11 @@ class ControllerError(StreamingError):
 
 class TransportError(StreamingError):
     """A simulated communication channel rejected a message."""
+
+
+class ReliabilityError(StreamingError):
+    """The reliable-transport layer could not honour a delivery guarantee."""
+
+
+class HealthError(StreamingError):
+    """Agent or sensor health supervision detected an unrecoverable fault."""

@@ -6,6 +6,7 @@ which re-orders, interpolates, smooths, clock-synchronizes, and persists
 the data — the middleware half of the paper.
 """
 
+from repro.exceptions import HealthError, ReliabilityError, StreamingError
 from repro.streaming.clock import DriftingClock, VirtualClock
 from repro.streaming.records import (
     FrameRecord,
@@ -39,9 +40,31 @@ from repro.streaming.controller import (
     ProcessingPolicy,
     decide_processing,
 )
+from repro.streaming.reliability import (
+    Ack,
+    PayloadClass,
+    ReceiverStats,
+    ReliablePacket,
+    ReliableReceiver,
+    ReliableSender,
+    SenderStats,
+    classify_payload,
+    reliable_link,
+)
+from repro.streaming.health import (
+    AgentLiveness,
+    Heartbeat,
+    HealthRegistry,
+    HealthState,
+    SensorFaultDetector,
+)
 from repro.streaming.runtime import (
+    PRIVACY_LADDER,
+    BreakerState,
     ComputeProfile,
     LocalRuntime,
+    PlacementCircuitBreaker,
+    PrivacyEscalator,
     RemoteRuntime,
     VerdictTiming,
     choose_runtime,
@@ -60,6 +83,17 @@ from repro.streaming.pipeline import (
     SessionConfig,
     SessionResult,
 )
+from repro.streaming.faults import (
+    FAULT_KINDS,
+    ChaosDriveReport,
+    ChaosHarness,
+    FaultEvent,
+    FaultSchedule,
+    FaultableSensor,
+    WindowHealth,
+    run_chaos_drive,
+    standard_chaos_schedule,
+)
 
 __all__ = [
     "VirtualClock", "DriftingClock", "SensorReading", "FrameRecord",
@@ -74,4 +108,16 @@ __all__ = [
     "ComputeProfile", "LocalRuntime", "RemoteRuntime", "VerdictTiming",
     "choose_runtime", "frame_payload_bytes", "placement_sweep",
     "save_readings_jsonl", "load_readings_jsonl", "save_tsdb", "load_tsdb",
+    # fault-tolerance layer
+    "StreamingError", "ReliabilityError", "HealthError",
+    "ReliableSender", "ReliableReceiver", "ReliablePacket", "Ack",
+    "SenderStats", "ReceiverStats", "PayloadClass", "classify_payload",
+    "reliable_link",
+    "HealthState", "Heartbeat", "HealthRegistry", "AgentLiveness",
+    "SensorFaultDetector",
+    "PlacementCircuitBreaker", "BreakerState", "PrivacyEscalator",
+    "PRIVACY_LADDER",
+    "FaultEvent", "FaultSchedule", "FaultableSensor", "ChaosHarness",
+    "ChaosDriveReport", "WindowHealth", "run_chaos_drive",
+    "standard_chaos_schedule", "FAULT_KINDS",
 ]

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from typing import Callable
 
-import numpy as np
-
 from repro.exceptions import AgentError, ConfigurationError
 from repro.streaming.clock import DriftingClock
+from repro.streaming.health import Heartbeat
 from repro.streaming.records import FrameRecord, SensorReading, SyncMessage
 from repro.streaming.sensors import CameraSensor
 from repro.streaming.transport import Channel
@@ -39,14 +38,18 @@ class CollectionAgent:
             distortion module down samples the video according to
             user-specified preference", paper §4.3), so downsampled
             frames genuinely cost less bandwidth on the uplink.
+        heartbeats: when true, a :class:`~repro.streaming.health.Heartbeat`
+            rides in every transmitted batch (and empty transmit slots send
+            a lone heartbeat), so the controller's health registry can
+            distinguish "no data" from "agent dead".
     """
 
     def __init__(self, agent_id: str, sensors: list, clock: DriftingClock,
                  channel: Channel, *, poll_interval: float = 0.025,
                  transmit_interval: float = 0.25,
                  label_fn: Callable[[float], int] | None = None,
-                 frame_transform: Callable[[FrameRecord], FrameRecord] | None = None
-                 ) -> None:
+                 frame_transform: Callable[[FrameRecord], FrameRecord] | None = None,
+                 heartbeats: bool = False) -> None:
         if poll_interval <= 0 or transmit_interval <= 0:
             raise ConfigurationError("poll/transmit intervals must be positive")
         if not sensors:
@@ -59,28 +62,48 @@ class CollectionAgent:
         self.transmit_interval = float(transmit_interval)
         self.label_fn = label_fn
         self.frame_transform = frame_transform
+        self.heartbeats = bool(heartbeats)
+        self.suspended = False
         self._buffer: list = []
         self._next_poll = 0.0
         self._next_transmit = 0.0
+        self._heartbeat_sequence = 0
         self.readings_taken = 0
         self.batches_sent = 0
 
     # -- simulation hooks ---------------------------------------------------
     def step(self, true_time: float) -> None:
         """Advance the agent: poll and/or transmit if their periods elapsed."""
+        if self.suspended:
+            return
         while self._next_poll <= true_time:
             self._poll(self._next_poll)
             self._next_poll += self.poll_interval
         while self._next_transmit <= true_time:
             self._transmit(self._next_transmit)
             self._next_transmit += self.transmit_interval
+        transport_step = getattr(self.channel, "step", None)
+        if transport_step is not None:
+            transport_step(true_time)
+
+    def fast_forward(self, true_time: float) -> None:
+        """Skip missed poll/transmit slots (e.g. when resuming from a
+        suspension) instead of back-filling them with stale samples."""
+        while self._next_poll <= true_time:
+            self._next_poll += self.poll_interval
+        while self._next_transmit <= true_time:
+            self._next_transmit += self.transmit_interval
 
     def _poll(self, true_time: float) -> None:
         local_ts = self.clock.now()
         label = self.label_fn(true_time) if self.label_fn else None
+        polled = 0
         for sensor in self.sensors:
             sample = sensor.sample(true_time)
-            if isinstance(sensor, CameraSensor):
+            if sample is None:  # sensor dropout: no reading this cycle
+                continue
+            # Unwrap chaos-harness wrappers when deciding the record type.
+            if isinstance(getattr(sensor, "inner", sensor), CameraSensor):
                 record = FrameRecord(agent_id=self.agent_id,
                                      timestamp=local_ts, image=sample,
                                      label=label)
@@ -90,13 +113,20 @@ class CollectionAgent:
                 record = SensorReading.create(self.agent_id, sensor.name,
                                               local_ts, sample, label)
             self._buffer.append(record)
-        self.readings_taken += len(self.sensors)
+            polled += 1
+        self.readings_taken += polled
 
     def _transmit(self, true_time: float) -> None:
-        if not self._buffer:
+        if not self._buffer and not self.heartbeats:
             return
         batch = self._buffer
         self._buffer = []
+        if self.heartbeats:
+            self._heartbeat_sequence += 1
+            batch.append(Heartbeat(agent_id=self.agent_id,
+                                   timestamp=self.clock.now(),
+                                   sequence=self._heartbeat_sequence,
+                                   readings_taken=self.readings_taken))
         self.channel.send(self.agent_id, "controller", batch, true_time)
         self.batches_sent += 1
 

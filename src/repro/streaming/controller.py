@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError, ControllerError
 from repro.streaming.agent import CollectionAgent
+from repro.streaming.health import Heartbeat, HealthRegistry
 from repro.streaming.normalization import align_streams
 from repro.streaming.records import FrameRecord, SensorReading
 from repro.streaming.sync import ClockSynchronizer
@@ -90,12 +91,15 @@ class CentralizedController:
         smoothing_window: sliding-moving-average width in grid steps.
         frame_transform: optional hook applied to each received frame
             (the privacy distortion module plugs in here).
+        health: optional :class:`HealthRegistry`; when present, agents are
+            supervised for liveness, heartbeats are consumed, and faulty
+            sensor readings are quarantined before they reach alignment.
     """
 
     def __init__(self, clock, *, tsdb: TimeSeriesDatabase | None = None,
                  grid_period: float = 0.25, smoothing_window: int = 3,
-                 frame_transform: Callable[[FrameRecord], FrameRecord] | None = None
-                 ) -> None:
+                 frame_transform: Callable[[FrameRecord], FrameRecord] | None = None,
+                 health: HealthRegistry | None = None) -> None:
         if grid_period <= 0:
             raise ConfigurationError("grid period must be positive")
         self.clock = clock
@@ -103,11 +107,14 @@ class CentralizedController:
         self.grid_period = float(grid_period)
         self.smoothing_window = int(smoothing_window)
         self.frame_transform = frame_transform
+        self.health = health
         self._agents: dict[str, RegisteredAgent] = {}
         self._raw: dict[tuple[str, str], list[SensorReading]] = {}
         self.frames: list[FrameRecord] = []
         self.readings_received = 0
         self.frames_received = 0
+        self.readings_quarantined = 0
+        self.heartbeats_received = 0
 
     # -- registration --------------------------------------------------------
     def register_agent(self, agent: CollectionAgent, uplink: Channel,
@@ -121,6 +128,8 @@ class CentralizedController:
             synchronizer = ClockSynchronizer(agent, downlink,
                                              sync_interval=sync_interval)
         self._agents[agent.agent_id] = RegisteredAgent(agent, uplink, synchronizer)
+        if self.health is not None:
+            self.health.register(agent.agent_id, self.clock.now())
 
     @property
     def agent_ids(self) -> list[str]:
@@ -134,22 +143,34 @@ class CentralizedController:
             if registered.synchronizer is not None:
                 registered.synchronizer.step(true_time, self.clock.now())
             for message in registered.uplink.poll(true_time):
-                self._ingest(message.payload)
+                self._ingest(message.payload, true_time)
+        if self.health is not None:
+            self.health.step(true_time)
 
-    def _ingest(self, payload) -> None:
+    def _ingest(self, payload, now: float) -> None:
         if isinstance(payload, (list, tuple)):
             for item in payload:
-                self._ingest(item)
+                self._ingest(item, now)
             return
         if isinstance(payload, SensorReading):
+            self.readings_received += 1
+            if (self.health is not None
+                    and not self.health.observe_reading(payload, now)):
+                self.readings_quarantined += 1
+                return
             key = (payload.agent_id, payload.sensor)
             self._raw.setdefault(key, []).append(payload)
-            self.readings_received += 1
         elif isinstance(payload, FrameRecord):
+            self.frames_received += 1
+            if self.health is not None:
+                self.health.record_activity(payload.agent_id, now)
             if self.frame_transform is not None:
                 payload = self.frame_transform(payload)
             self.frames.append(payload)
-            self.frames_received += 1
+        elif isinstance(payload, Heartbeat):
+            self.heartbeats_received += 1
+            if self.health is not None:
+                self.health.record_heartbeat(payload, now)
         else:
             raise ControllerError(f"unexpected payload type {type(payload).__name__}")
 
@@ -202,6 +223,12 @@ class CentralizedController:
         use_left = (np.abs(timestamps[left] - grid)
                     < np.abs(timestamps[indices] - grid))
         return labels[np.where(use_left, left, indices)]
+
+    def health_report(self) -> dict:
+        """Health-registry summary (empty when supervision is disabled)."""
+        if self.health is None:
+            return {}
+        return self.health.report()
 
     def sync_report(self) -> dict[str, float]:
         """Worst residual clock error per agent after synchronization."""

@@ -1,0 +1,299 @@
+"""Agent health supervision and sensor fault detection.
+
+The paper's controller assumes agents keep talking; real deployments do
+not get that luxury — phones die, dashcams unmount, sensors stick.  This
+module gives the controller the machinery to *notice*:
+
+* :class:`Heartbeat` records piggy-back on agent transmissions, so
+  liveness costs one tiny record per batch rather than a separate
+  keep-alive protocol;
+* :class:`HealthRegistry` tracks per-agent liveness with explicit
+  HEALTHY -> DEGRADED -> SILENT transitions (and back, on recovery);
+* :class:`SensorFaultDetector` screens each sensor stream for stuck-at,
+  spike, and dropout faults; a stuck sensor is *quarantined* — excluded
+  from alignment — instead of poisoning the interpolation grid.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, HealthError
+from repro.streaming.records import SensorReading
+
+
+class HealthState(enum.Enum):
+    """Liveness classification of one agent, as seen by the controller."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    SILENT = "silent"
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Agent -> controller liveness record, shipped inside data batches."""
+
+    agent_id: str
+    timestamp: float
+    sequence: int
+    readings_taken: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass
+class AgentLiveness:
+    """Registry entry for one supervised agent."""
+
+    agent_id: str
+    last_seen: float
+    state: HealthState = HealthState.HEALTHY
+    last_heartbeat: Heartbeat | None = None
+    heartbeats: int = 0
+    transitions: list[tuple[float, HealthState]] = field(default_factory=list)
+
+
+class SensorFaultDetector:
+    """Sliding-window fault screen for one sensor stream.
+
+    Three fault classes (the classic triad for commodity IMUs):
+
+    * **stuck-at** — the same vector repeats ``stuck_count`` times; real
+      sensors carry noise, so exact repetition means a frozen driver.
+    * **spike** — a sample deviates more than ``spike_sigma`` standard
+      deviations from the recent window mean on any axis.
+    * **dropout** — no sample for ``dropout_after`` seconds (evaluated by
+      the registry, which knows wall time between arrivals).
+
+    Args:
+        window: history length for the spike statistics.
+        min_history: samples required before spike screening activates.
+        stuck_count: identical consecutive samples that mean "stuck".
+        stuck_epsilon: per-axis tolerance for "identical".
+        spike_sigma: deviation threshold in window standard deviations.
+        dropout_after: silence interval that counts as a dropout.
+    """
+
+    def __init__(self, *, window: int = 64, min_history: int = 16,
+                 stuck_count: int = 12, stuck_epsilon: float = 1e-9,
+                 spike_sigma: float = 8.0, dropout_after: float = 1.5) -> None:
+        if window < 2 or min_history < 2 or stuck_count < 2:
+            raise ConfigurationError(
+                "window, min_history and stuck_count must be >= 2")
+        if spike_sigma <= 0 or dropout_after <= 0:
+            raise ConfigurationError(
+                "spike_sigma and dropout_after must be positive")
+        self.window = int(window)
+        self.min_history = int(min_history)
+        self.stuck_count = int(stuck_count)
+        self.stuck_epsilon = float(stuck_epsilon)
+        self.spike_sigma = float(spike_sigma)
+        self.dropout_after = float(dropout_after)
+        self._history: list[np.ndarray] = []
+        self._last_value: np.ndarray | None = None
+        self._repeat_count = 0
+        self.last_arrival: float | None = None
+
+    def observe(self, values, now: float) -> str | None:
+        """Screen one sample; returns ``"stuck"``/``"spike"`` or ``None``."""
+        sample = np.asarray(values, dtype=np.float64).ravel()
+        self.last_arrival = now
+        if (self._last_value is not None
+                and sample.shape == self._last_value.shape
+                and np.all(np.abs(sample - self._last_value)
+                           <= self.stuck_epsilon)):
+            self._repeat_count += 1
+        else:
+            self._repeat_count = 0
+        self._last_value = sample
+        if self._repeat_count >= self.stuck_count - 1:
+            return "stuck"
+        fault = None
+        if len(self._history) >= self.min_history:
+            window = np.stack(self._history)
+            std = np.maximum(window.std(axis=0), 1e-3)
+            if np.any(np.abs(sample - window.mean(axis=0))
+                      > self.spike_sigma * std):
+                fault = "spike"
+        if fault is None:
+            self._history.append(sample)
+            if len(self._history) > self.window:
+                del self._history[0]
+        return fault
+
+    @property
+    def stuck(self) -> bool:
+        """Whether the most recent samples look stuck."""
+        return self._repeat_count >= self.stuck_count - 1
+
+    def dropped_out(self, now: float) -> bool:
+        """Whether the stream has been silent past the dropout threshold."""
+        return (self.last_arrival is not None
+                and now - self.last_arrival > self.dropout_after)
+
+
+class HealthRegistry:
+    """Controller-side supervision of agent liveness and sensor health.
+
+    State machine per agent, driven by the time since the last arrival
+    (data *or* heartbeat):
+
+    ``HEALTHY`` (< ``degraded_after``) -> ``DEGRADED`` (< ``silent_after``)
+    -> ``SILENT``; any arrival snaps the agent straight back to HEALTHY.
+
+    Args:
+        degraded_after: silence (seconds) before an agent is DEGRADED.
+        silent_after: silence before an agent is declared SILENT.
+        detector_factory: builds the per-stream
+            :class:`SensorFaultDetector`; ``None`` disables sensor
+            screening (liveness tracking only).
+    """
+
+    def __init__(self, *, degraded_after: float = 1.0,
+                 silent_after: float = 3.0,
+                 detector_factory=SensorFaultDetector) -> None:
+        if not 0 < degraded_after < silent_after:
+            raise ConfigurationError(
+                "need 0 < degraded_after < silent_after")
+        self.degraded_after = float(degraded_after)
+        self.silent_after = float(silent_after)
+        self.detector_factory = detector_factory
+        self._agents: dict[str, AgentLiveness] = {}
+        self._detectors: dict[str, SensorFaultDetector] = {}
+        self._quarantined: set[str] = set()
+        self._ever_quarantined: set[str] = set()
+        self.fault_counts: dict[str, int] = {
+            "stuck": 0, "spike": 0, "dropout": 0}
+        self.readings_rejected = 0
+
+    # -- registration / liveness ---------------------------------------------
+    def register(self, agent_id: str, now: float) -> None:
+        """Begin supervising an agent (idempotent registration is an error)."""
+        if agent_id in self._agents:
+            raise HealthError(f"agent {agent_id!r} already supervised")
+        self._agents[agent_id] = AgentLiveness(agent_id, last_seen=now)
+
+    def record_activity(self, agent_id: str, now: float) -> None:
+        """Note any arrival from an agent; recovers DEGRADED/SILENT agents."""
+        liveness = self._liveness(agent_id)
+        liveness.last_seen = max(liveness.last_seen, now)
+        self._set_state(liveness, HealthState.HEALTHY, now)
+
+    def record_heartbeat(self, heartbeat: Heartbeat, now: float) -> None:
+        """Ingest a piggy-backed heartbeat."""
+        liveness = self._liveness(heartbeat.agent_id)
+        liveness.last_heartbeat = heartbeat
+        liveness.heartbeats += 1
+        self.record_activity(heartbeat.agent_id, now)
+
+    def step(self, now: float) -> list[tuple[str, HealthState]]:
+        """Re-evaluate every agent's state; returns new transitions."""
+        changed: list[tuple[str, HealthState]] = []
+        for liveness in self._agents.values():
+            silence = now - liveness.last_seen
+            if silence >= self.silent_after:
+                target = HealthState.SILENT
+            elif silence >= self.degraded_after:
+                target = HealthState.DEGRADED
+            else:
+                target = HealthState.HEALTHY
+            if self._set_state(liveness, target, now):
+                changed.append((liveness.agent_id, target))
+        for stream, detector in self._detectors.items():
+            # A dropout is a *sensor* fault: only diagnose it while the
+            # owning agent is demonstrably alive, otherwise network-level
+            # silence (a blackout) would masquerade as dead sensors.
+            owner = self._agents.get(stream.split("/", 1)[0])
+            if owner is not None and owner.state is not HealthState.HEALTHY:
+                continue
+            if detector.dropped_out(now):
+                if stream not in self._quarantined:
+                    self.fault_counts["dropout"] += 1
+                    self._quarantine(stream)
+        return changed
+
+    # -- sensor screening ----------------------------------------------------
+    def observe_reading(self, reading: SensorReading, now: float) -> bool:
+        """Screen one reading; returns ``False`` if it must be discarded."""
+        self.record_activity(reading.agent_id, now)
+        if self.detector_factory is None:
+            return True
+        stream = f"{reading.agent_id}/{reading.sensor}"
+        detector = self._detectors.get(stream)
+        if detector is None:
+            detector = self._detectors[stream] = self.detector_factory()
+        fault = detector.observe(reading.values, now)
+        if fault == "stuck":
+            if stream not in self._quarantined:
+                self.fault_counts["stuck"] += 1
+                self._quarantine(stream)
+            self.readings_rejected += 1
+            return False
+        # A healthy sample from a quarantined stream releases it (the
+        # stream had stuck or dropped out; it is now live and varying).
+        if stream in self._quarantined:
+            self._quarantined.discard(stream)
+        if fault == "spike":
+            self.fault_counts["spike"] += 1
+            self.readings_rejected += 1
+            return False
+        return True
+
+    # -- queries -------------------------------------------------------------
+    def state(self, agent_id: str) -> HealthState:
+        """Current liveness state of one agent."""
+        return self._liveness(agent_id).state
+
+    def states(self) -> dict[str, HealthState]:
+        """Current state of every supervised agent."""
+        return {aid: live.state for aid, live in self._agents.items()}
+
+    def transitions(self, agent_id: str) -> list[tuple[float, HealthState]]:
+        """Timestamped state transitions for one agent."""
+        return list(self._liveness(agent_id).transitions)
+
+    def quarantined(self) -> set[str]:
+        """Streams currently excluded from alignment (``agent/sensor``)."""
+        return set(self._quarantined)
+
+    def ever_quarantined(self) -> set[str]:
+        """Streams quarantined at any point in the session."""
+        return set(self._ever_quarantined)
+
+    def report(self) -> dict:
+        """Summary for dashboards and the chaos harness."""
+        return {
+            "states": {aid: live.state.value
+                       for aid, live in self._agents.items()},
+            "heartbeats": {aid: live.heartbeats
+                           for aid, live in self._agents.items()},
+            "quarantined": sorted(self._quarantined),
+            "ever_quarantined": sorted(self._ever_quarantined),
+            "fault_counts": dict(self.fault_counts),
+            "readings_rejected": self.readings_rejected,
+        }
+
+    # -- internals -----------------------------------------------------------
+    def _liveness(self, agent_id: str) -> AgentLiveness:
+        try:
+            return self._agents[agent_id]
+        except KeyError:
+            raise HealthError(f"agent {agent_id!r} is not supervised") from None
+
+    def _set_state(self, liveness: AgentLiveness, target: HealthState,
+                   now: float) -> bool:
+        if liveness.state is target:
+            return False
+        liveness.state = target
+        liveness.transitions.append((now, target))
+        return True
+
+    def _quarantine(self, stream: str) -> None:
+        self._quarantined.add(stream)
+        self._ever_quarantined.add(stream)

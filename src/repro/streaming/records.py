@@ -125,7 +125,14 @@ class Message:
 
 
 def payload_size(payload: Any) -> int:
-    """Estimate the wire size of a payload in bytes."""
+    """Estimate the wire size of a payload in bytes.
+
+    Envelope types outside this module (reliability packets, heartbeats)
+    expose a ``wire_size`` property instead of being special-cased here.
+    """
+    wire_size = getattr(payload, "wire_size", None)
+    if wire_size is not None:
+        return int(wire_size)
     if isinstance(payload, FrameRecord):
         return payload.nbytes + 64
     if isinstance(payload, SensorReading):

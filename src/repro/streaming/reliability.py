@@ -1,0 +1,335 @@
+"""Reliable transport: ack/retransmit over lossy :class:`Channel` pairs.
+
+The raw :class:`~repro.streaming.transport.Channel` models the paper's
+Bluetooth/802.11 links faithfully — including the part where a dropped
+batch is simply gone.  Production deployments cannot accept that for IMU
+tuples, so this module layers a sequence-tracked, acknowledged protocol
+on top of two simplex channels (data out, acks back):
+
+* every payload travels in a :class:`ReliablePacket` with a sender-scoped
+  sequence number;
+* the receiver acknowledges with a cumulative watermark plus a selective
+  list (so one lost ack cannot strand the whole window);
+* unacknowledged packets retransmit on an exponential backoff schedule
+  with jitter, seeded from an EWMA round-trip estimate (Karn-style: only
+  never-retransmitted packets update the estimate);
+* the send buffer is bounded, and under pressure it sheds the *oldest
+  frame* payloads first — IMU tuples outlive video frames, because a
+  3-second gap in the accelerometer stream poisons alignment while a
+  missing frame merely degrades one verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ReliabilityError
+from repro.streaming.records import FrameRecord, Message, payload_size
+from repro.streaming.transport import Channel
+
+#: Selective-ack list is capped so acks stay small on the wire.
+MAX_SELECTIVE_ACKS = 64
+
+
+class PayloadClass(enum.Enum):
+    """Shedding priority classes (frames are shed before IMU data)."""
+
+    FRAME = "frame"
+    DATA = "data"
+
+
+def classify_payload(payload: Any) -> PayloadClass:
+    """Classify a payload for the backpressure policy."""
+    if isinstance(payload, FrameRecord):
+        return PayloadClass.FRAME
+    if isinstance(payload, (list, tuple)):
+        if any(isinstance(item, FrameRecord) for item in payload):
+            return PayloadClass.FRAME
+    return PayloadClass.DATA
+
+
+@dataclass(frozen=True)
+class ReliablePacket:
+    """Sequenced envelope around an application payload."""
+
+    sequence: int
+    payload: Any
+    retransmission: bool = False
+
+    @property
+    def wire_size(self) -> int:
+        """Payload size plus the sequencing header."""
+        return payload_size(self.payload) + 24
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Receiver -> sender acknowledgement.
+
+    ``cumulative`` is the highest sequence below which everything has been
+    received; ``selective`` lists received sequences above the watermark.
+    """
+
+    cumulative: int
+    selective: tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + 8 * len(self.selective)
+
+    def covers(self, sequence: int) -> bool:
+        """Whether this ack confirms delivery of ``sequence``."""
+        return sequence <= self.cumulative or sequence in self.selective
+
+
+@dataclass
+class SenderStats:
+    """Sender-side reliability counters."""
+
+    sent: int = 0
+    retransmissions: int = 0
+    acked: int = 0
+    shed_frames: int = 0
+    shed_data: int = 0
+    abandoned: int = 0
+
+
+@dataclass
+class ReceiverStats:
+    """Receiver-side reliability counters."""
+
+    received: int = 0
+    duplicates: int = 0
+    acks_sent: int = 0
+
+
+@dataclass
+class _PendingEntry:
+    sequence: int
+    payload: Any
+    payload_class: PayloadClass
+    first_sent: float
+    next_retry: float
+    attempts: int = 1
+
+
+class ReliableSender:
+    """Sending endpoint of the reliable link.
+
+    :meth:`send` matches :meth:`Channel.send`'s signature, so an agent can
+    use a sender as a drop-in uplink; :meth:`step` must then be driven by
+    the simulation loop (the agent calls it automatically when the uplink
+    exposes one).
+
+    Args:
+        data: outgoing channel carrying :class:`ReliablePacket`\\ s.
+        ack: incoming channel carrying :class:`Ack`\\ s.
+        base_timeout: first retransmission timeout in seconds.
+        backoff: multiplier applied per retransmission attempt.
+        max_timeout: retransmission timeout ceiling.
+        jitter: +/- fraction of random spread on every timeout.
+        max_attempts: transmissions before a packet is abandoned.
+        buffer_limit: maximum unacknowledged packets held; beyond this the
+            oldest frame-class payload is shed first (then oldest data).
+        rng: randomness source for jitter.
+    """
+
+    def __init__(self, data: Channel, ack: Channel, *,
+                 base_timeout: float = 0.1, backoff: float = 2.0,
+                 max_timeout: float = 1.0, jitter: float = 0.2,
+                 max_attempts: int = 25, buffer_limit: int = 256,
+                 rng: np.random.Generator | None = None) -> None:
+        if base_timeout <= 0 or max_timeout < base_timeout:
+            raise ConfigurationError(
+                "need 0 < base_timeout <= max_timeout")
+        if backoff < 1.0:
+            raise ConfigurationError("backoff must be >= 1.0")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if max_attempts < 1 or buffer_limit < 1:
+            raise ConfigurationError(
+                "max_attempts and buffer_limit must be >= 1")
+        self.data = data
+        self.ack = ack
+        self.base_timeout = float(base_timeout)
+        self.backoff = float(backoff)
+        self.max_timeout = float(max_timeout)
+        self.jitter = float(jitter)
+        self.max_attempts = int(max_attempts)
+        self.buffer_limit = int(buffer_limit)
+        self.rng = rng or np.random.default_rng()
+        self.stats = SenderStats()
+        self._pending: dict[int, _PendingEntry] = {}
+        self._sequence = 0
+        self._srtt: float | None = None
+        self._source = "sender"
+        self._destination = "receiver"
+
+    # -- public API ----------------------------------------------------------
+    def send(self, source: str, destination: str, payload: Any,
+             now: float) -> int:
+        """Enqueue and transmit a payload; returns its sequence number."""
+        self._source, self._destination = source, destination
+        self._sequence += 1
+        sequence = self._sequence
+        if len(self._pending) >= self.buffer_limit:
+            self._shed()
+        entry = _PendingEntry(
+            sequence=sequence, payload=payload,
+            payload_class=classify_payload(payload),
+            first_sent=now, next_retry=now + self._timeout(1))
+        self._pending[sequence] = entry
+        self.stats.sent += 1
+        self.data.send(source, destination,
+                       ReliablePacket(sequence, payload), now)
+        return sequence
+
+    def step(self, now: float) -> None:
+        """Process incoming acks, then retransmit every overdue packet."""
+        for message in self.ack.poll(now):
+            ack = message.payload
+            if not isinstance(ack, Ack):
+                raise ReliabilityError(
+                    f"unexpected payload on ack channel: {type(ack).__name__}")
+            self._apply_ack(ack, now)
+        for entry in list(self._pending.values()):
+            if entry.next_retry > now:
+                continue
+            if entry.attempts >= self.max_attempts:
+                del self._pending[entry.sequence]
+                self.stats.abandoned += 1
+                continue
+            entry.attempts += 1
+            entry.next_retry = now + self._timeout(entry.attempts)
+            self.stats.retransmissions += 1
+            self.data.send(self._source, self._destination,
+                           ReliablePacket(entry.sequence, entry.payload,
+                                          retransmission=True), now)
+
+    @property
+    def unacked(self) -> int:
+        """Packets awaiting acknowledgement."""
+        return len(self._pending)
+
+    @property
+    def pressure(self) -> float:
+        """Send-buffer occupancy in [0, 1] — the backpressure signal."""
+        return len(self._pending) / self.buffer_limit
+
+    @property
+    def srtt(self) -> float | None:
+        """Smoothed round-trip estimate (``None`` before the first ack)."""
+        return self._srtt
+
+    # -- internals -----------------------------------------------------------
+    def _timeout(self, attempts: int) -> float:
+        base = self.base_timeout
+        if self._srtt is not None:
+            base = max(base, 2.0 * self._srtt)
+        timeout = min(base * self.backoff ** (attempts - 1), self.max_timeout)
+        if self.jitter:
+            timeout *= 1.0 + self.jitter * float(self.rng.uniform(-1.0, 1.0))
+        return timeout
+
+    def _apply_ack(self, ack: Ack, now: float) -> None:
+        for sequence in list(self._pending):
+            if not ack.covers(sequence):
+                continue
+            entry = self._pending.pop(sequence)
+            self.stats.acked += 1
+            if entry.attempts == 1:  # Karn: unambiguous RTT sample
+                sample = now - entry.first_sent
+                self._srtt = (sample if self._srtt is None
+                              else 0.875 * self._srtt + 0.125 * sample)
+
+    def _shed(self) -> None:
+        """Evict one packet to make room: oldest frame first, then data."""
+        victim = None
+        for entry in self._pending.values():
+            if entry.payload_class is PayloadClass.FRAME:
+                victim = entry
+                break
+        if victim is None:
+            victim = next(iter(self._pending.values()))
+        del self._pending[victim.sequence]
+        if victim.payload_class is PayloadClass.FRAME:
+            self.stats.shed_frames += 1
+        else:
+            self.stats.shed_data += 1
+
+
+class ReliableReceiver:
+    """Receiving endpoint: dedup by sequence, acknowledge everything.
+
+    :meth:`poll` matches :meth:`Channel.poll`, so the controller can drain
+    a receiver exactly like a raw uplink channel; delivered messages carry
+    the *unwrapped* application payload.
+    """
+
+    def __init__(self, data: Channel, ack: Channel, *,
+                 ack_source: str = "controller") -> None:
+        self.data = data
+        self.ack = ack
+        self.ack_source = ack_source
+        self.stats = ReceiverStats()
+        self._cumulative = 0
+        self._above: set[int] = set()
+
+    def poll(self, now: float) -> list[Message]:
+        """Deliver new unique messages; ack everything that arrived."""
+        delivered: list[Message] = []
+        arrivals = self.data.poll(now)
+        for message in arrivals:
+            packet = message.payload
+            if not isinstance(packet, ReliablePacket):
+                raise ReliabilityError(
+                    f"unexpected payload on data channel: "
+                    f"{type(packet).__name__}")
+            if self._seen(packet.sequence):
+                self.stats.duplicates += 1
+                continue
+            self._mark(packet.sequence)
+            self.stats.received += 1
+            message.payload = packet.payload
+            delivered.append(message)
+        if arrivals:
+            selective = tuple(sorted(self._above))[-MAX_SELECTIVE_ACKS:]
+            self.ack.send(self.ack_source, arrivals[0].source,
+                          Ack(self._cumulative, selective), now)
+            self.stats.acks_sent += 1
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        """In-flight messages on the underlying data channel."""
+        return self.data.pending
+
+    def _seen(self, sequence: int) -> bool:
+        return sequence <= self._cumulative or sequence in self._above
+
+    def _mark(self, sequence: int) -> None:
+        self._above.add(sequence)
+        while self._cumulative + 1 in self._above:
+            self._cumulative += 1
+            self._above.remove(self._cumulative)
+
+
+def reliable_link(name: str, *, base_latency: float = 0.01,
+                  jitter: float = 0.0, drop_probability: float = 0.0,
+                  bandwidth_bps: float | None = None,
+                  rng: np.random.Generator | None = None,
+                  **sender_options) -> tuple[ReliableSender, ReliableReceiver]:
+    """Build a matched sender/receiver pair over symmetric lossy channels."""
+    rng = rng or np.random.default_rng()
+    data = Channel(f"{name}-data", base_latency=base_latency, jitter=jitter,
+                   drop_probability=drop_probability,
+                   bandwidth_bps=bandwidth_bps, rng=rng)
+    ack = Channel(f"{name}-ack", base_latency=base_latency, jitter=jitter,
+                  drop_probability=drop_probability, rng=rng)
+    sender = ReliableSender(data, ack, rng=rng, **sender_options)
+    receiver = ReliableReceiver(data, ack)
+    return sender, receiver

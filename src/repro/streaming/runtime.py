@@ -19,6 +19,7 @@ the controller would select for the observed conditions.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
 import numpy as np
@@ -109,6 +110,176 @@ class RemoteRuntime:
         return VerdictTiming(uplink_seconds=up,
                              inference_seconds=self.compute.inference_seconds(),
                              downlink_seconds=down)
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker states guarding the REMOTE placement."""
+
+    CLOSED = "closed"        # remote path trusted
+    OPEN = "open"            # remote path tripped; everything runs locally
+    HALF_OPEN = "half_open"  # probing the remote path before re-closing
+
+
+class PlacementCircuitBreaker:
+    """Fail the §3.2 placement decision over, and back, without flapping.
+
+    The static :func:`decide_processing` policy answers "which placement
+    is better right now"; this breaker answers the operational question
+    "is the remote path *trustworthy*".  Consecutive timeouts trip
+    REMOTE -> LOCAL (OPEN); after a recovery window the breaker lets a
+    probe through (HALF_OPEN) and only returns to REMOTE after several
+    consecutive successes.  Two hysteresis mechanisms stop flapping:
+
+    * the OPEN dwell grows by ``backoff`` on every re-trip (decaying back
+      to the base once the breaker fully closes), and
+    * the LOCAL placement is kept throughout HALF_OPEN probing, so a
+      single lucky probe cannot bounce traffic back to the remote.
+
+    Args:
+        failure_threshold: consecutive timeouts that trip the breaker.
+        recovery_timeout: seconds OPEN before the first half-open probe.
+        success_threshold: consecutive probe successes needed to re-close.
+        backoff: growth factor of the recovery timeout on repeated trips.
+        max_recovery_timeout: recovery-timeout ceiling.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 recovery_timeout: float = 2.0, success_threshold: int = 2,
+                 backoff: float = 2.0,
+                 max_recovery_timeout: float = 30.0) -> None:
+        if failure_threshold < 1 or success_threshold < 1:
+            raise ConfigurationError(
+                "failure and success thresholds must be >= 1")
+        if recovery_timeout <= 0 or backoff < 1.0:
+            raise ConfigurationError(
+                "recovery_timeout must be positive and backoff >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.base_recovery_timeout = float(recovery_timeout)
+        self.success_threshold = int(success_threshold)
+        self.backoff = float(backoff)
+        self.max_recovery_timeout = float(max_recovery_timeout)
+        self.state = BreakerState.CLOSED
+        self.transitions: list[tuple[float, ProcessingLocation]] = []
+        self._recovery_timeout = self.base_recovery_timeout
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._opened_at: float | None = None
+
+    @property
+    def location(self) -> ProcessingLocation:
+        """Current placement: REMOTE only while the breaker is CLOSED."""
+        return (ProcessingLocation.REMOTE
+                if self.state is BreakerState.CLOSED
+                else ProcessingLocation.LOCAL)
+
+    def allow_remote(self, now: float) -> bool:
+        """Whether a request may use the remote path at ``now``.
+
+        While OPEN this also advances to HALF_OPEN once the recovery
+        window has elapsed, admitting the probe that asked.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if (self._opened_at is not None
+                    and now - self._opened_at >= self._recovery_timeout):
+                self.state = BreakerState.HALF_OPEN
+                self._consecutive_successes = 0
+                return True
+            return False
+        return True  # HALF_OPEN: probes allowed
+
+    def record_success(self, now: float) -> None:
+        """Account one successful remote round-trip."""
+        if self.state is BreakerState.CLOSED:
+            self._consecutive_failures = 0
+            return
+        if self.state is BreakerState.HALF_OPEN:
+            self._consecutive_successes += 1
+            if self._consecutive_successes >= self.success_threshold:
+                self.state = BreakerState.CLOSED
+                self._consecutive_failures = 0
+                self._recovery_timeout = self.base_recovery_timeout
+                self.transitions.append((now, ProcessingLocation.REMOTE))
+
+    def record_failure(self, now: float) -> None:
+        """Account one remote timeout/failure."""
+        if self.state is BreakerState.CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip(now, record=True)
+        elif self.state is BreakerState.HALF_OPEN:
+            self._recovery_timeout = min(
+                self._recovery_timeout * self.backoff,
+                self.max_recovery_timeout)
+            self._trip(now, record=False)  # location never left LOCAL
+
+    def _trip(self, now: float, *, record: bool) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self._consecutive_successes = 0
+        if record:
+            self.transitions.append((now, ProcessingLocation.LOCAL))
+
+
+#: Distortion-level ladder the escalator climbs (values match
+#: :class:`repro.core.privacy.PrivacyLevel`; ``None`` = undistorted).
+PRIVACY_LADDER: tuple[str | None, ...] = (None, "low", "medium", "high")
+
+
+class PrivacyEscalator:
+    """Escalate distortion L -> M -> H under bandwidth pressure.
+
+    Under sustained uplink pressure the cheapest byte is the one never
+    sent: before the reliable sender starts shedding frames, the
+    escalator climbs the Fig. 3 distortion ladder so every frame costs
+    4x/9x/16x less wire.  De-escalation uses a lower threshold plus a
+    dwell time, so the level ratchets rather than flaps.
+
+    Args:
+        escalate_above: send-buffer pressure (0..1) that steps the ladder up.
+        relax_below: pressure below which the ladder steps back down.
+        dwell: minimum seconds between level changes.
+        ladder: ordered level values, least to most distorted.
+    """
+
+    def __init__(self, *, escalate_above: float = 0.7,
+                 relax_below: float = 0.25, dwell: float = 1.0,
+                 ladder: tuple[str | None, ...] = PRIVACY_LADDER) -> None:
+        if not 0.0 <= relax_below < escalate_above <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= relax_below < escalate_above <= 1")
+        if dwell < 0 or len(ladder) < 2:
+            raise ConfigurationError(
+                "dwell must be >= 0 and the ladder needs >= 2 rungs")
+        self.escalate_above = float(escalate_above)
+        self.relax_below = float(relax_below)
+        self.dwell = float(dwell)
+        self.ladder = tuple(ladder)
+        self._index = 0
+        self._last_change: float | None = None
+        self.escalations = 0
+        self.relaxations = 0
+
+    @property
+    def level(self) -> str | None:
+        """Current distortion level value."""
+        return self.ladder[self._index]
+
+    def update(self, pressure: float, now: float) -> str | None:
+        """Feed one pressure sample; returns the (possibly new) level."""
+        movable = (self._last_change is None
+                   or now - self._last_change >= self.dwell)
+        if movable and pressure >= self.escalate_above \
+                and self._index < len(self.ladder) - 1:
+            self._index += 1
+            self._last_change = now
+            self.escalations += 1
+        elif movable and pressure <= self.relax_below and self._index > 0:
+            self._index -= 1
+            self._last_change = now
+            self.relaxations += 1
+        return self.level
 
 
 def frame_payload_bytes(edge: int, *, bytes_per_pixel: int = 4,

@@ -11,6 +11,7 @@ therefore order data by payload timestamp, as the paper notes (§3.2).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,23 +19,48 @@ import numpy as np
 from repro.exceptions import ConfigurationError, TransportError
 from repro.streaming.records import Message, payload_size
 
+#: How many recent latency samples :class:`ChannelStats` retains.
+LATENCY_WINDOW = 1024
+
 
 @dataclass
 class ChannelStats:
-    """Counters accumulated over a channel's lifetime."""
+    """Counters accumulated over a channel's lifetime.
+
+    Latency samples are kept in a bounded window (the most recent
+    :data:`LATENCY_WINDOW` deliveries) so long-running sessions stay at
+    constant memory; lifetime aggregates are maintained as streaming
+    counters alongside.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
-    latencies: list[float] = field(default_factory=list)
+    latencies: deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+    latency_sum: float = 0.0
+    max_latency: float = 0.0
+
+    def record_latency(self, latency: float) -> None:
+        """Account one delivered-message latency."""
+        self.latencies.append(float(latency))
+        self.latency_sum += float(latency)
+        if latency > self.max_latency:
+            self.max_latency = float(latency)
 
     def mean_latency(self) -> float:
-        """Mean delivered-message latency (0.0 when nothing delivered)."""
+        """Mean latency over the retained window (0.0 when empty)."""
         if not self.latencies:
             return 0.0
         return float(np.mean(self.latencies))
+
+    def lifetime_mean_latency(self) -> float:
+        """Mean latency over every delivery, window notwithstanding."""
+        if not self.delivered:
+            return 0.0
+        return self.latency_sum / self.delivered
 
 
 class Channel:
@@ -112,7 +138,7 @@ class Channel:
             message.delivered_at = arrival
             self.stats.delivered += 1
             self.stats.bytes_delivered += message.size_bytes
-            self.stats.latencies.append(message.latency)
+            self.stats.record_latency(message.latency)
             delivered.append(message)
         return delivered
 

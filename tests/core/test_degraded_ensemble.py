@@ -1,0 +1,190 @@
+"""Degraded-mode verdicts: BN marginalization over a missing modality."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BayesianNetworkCombiner,
+    CnnConfig,
+    DarNetEnsemble,
+    DegradedPrediction,
+    RnnConfig,
+    load_ensemble,
+    save_ensemble,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+
+FAST_CNN = CnnConfig(epochs=1, width=0.5)
+FAST_RNN = RnnConfig(hidden_units=8, epochs=1)
+
+
+@pytest.fixture(scope="module")
+def fitted_combiner():
+    rng = np.random.default_rng(0)
+    combiner = BayesianNetworkCombiner(6, 3)
+    cnn_verdicts = rng.integers(0, 6, size=400)
+    imu_verdicts = rng.integers(0, 3, size=400)
+    labels = rng.integers(0, 6, size=400)
+    return combiner.fit(cnn_verdicts, imu_verdicts, labels)
+
+
+@pytest.fixture(scope="module")
+def tiny_trained_ensemble(tiny_driving_dataset):
+    train, _ = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    ensemble = DarNetEnsemble("cnn+rnn", cnn_config=FAST_CNN,
+                              rnn_config=FAST_RNN,
+                              rng=np.random.default_rng(7))
+    ensemble.fit(train)
+    return ensemble, train
+
+
+# -- combiner marginalization ------------------------------------------------
+
+def test_parent_priors_are_distributions(fitted_combiner):
+    assert fitted_combiner.cnn_prior().sum() == pytest.approx(1.0)
+    assert fitted_combiner.imu_prior().sum() == pytest.approx(1.0)
+    assert np.all(fitted_combiner.cnn_prior() > 0)
+    assert np.all(fitted_combiner.imu_prior() > 0)
+
+
+def test_unfitted_combiner_priors_are_uniform():
+    combiner = BayesianNetworkCombiner(6, 3)
+    np.testing.assert_allclose(combiner.cnn_prior(), np.full(6, 1 / 6))
+    np.testing.assert_allclose(combiner.imu_prior(), np.full(3, 1 / 3))
+
+
+def test_cnn_only_posterior_is_normalized(fitted_combiner):
+    rng = np.random.default_rng(1)
+    cnn_probs = rng.dirichlet(np.ones(6), size=10)
+    posterior = fitted_combiner.predict_proba_cnn_only(cnn_probs)
+    assert posterior.shape == (10, 6)
+    assert np.all(np.isfinite(posterior))
+    np.testing.assert_allclose(posterior.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_imu_only_posterior_is_normalized(fitted_combiner):
+    rng = np.random.default_rng(2)
+    imu_probs = rng.dirichlet(np.ones(3), size=10)
+    posterior = fitted_combiner.predict_proba_imu_only(imu_probs)
+    assert posterior.shape == (10, 6)
+    np.testing.assert_allclose(posterior.sum(axis=1), 1.0, atol=1e-9)
+
+
+def test_marginalization_consistent_with_prior_as_parent(fitted_combiner):
+    """CNN-only inference == full inference fed the IMU training prior."""
+    rng = np.random.default_rng(3)
+    cnn_probs = rng.dirichlet(np.ones(6), size=8)
+    prior = np.tile(fitted_combiner.imu_prior(), (8, 1))
+    np.testing.assert_allclose(
+        fitted_combiner.predict_proba_cnn_only(cnn_probs),
+        fitted_combiner.predict_proba(cnn_probs, prior), atol=1e-12)
+
+
+def test_both_streams_missing_is_an_error(fitted_combiner):
+    with pytest.raises(ConfigurationError):
+        fitted_combiner.predict_proba(None, None)
+
+
+def test_predict_accepts_missing_parent(fitted_combiner):
+    rng = np.random.default_rng(4)
+    verdicts = fitted_combiner.predict(rng.dirichlet(np.ones(6), size=5), None)
+    assert verdicts.shape == (5,)
+    assert np.all((verdicts >= 0) & (verdicts < 6))
+
+
+# -- ensemble degraded path --------------------------------------------------
+
+def test_predict_degraded_full_fidelity(tiny_trained_ensemble):
+    ensemble, train = tiny_trained_ensemble
+    result = ensemble.predict_degraded(images=train.images[:6],
+                                       imu=train.imu[:6])
+    assert isinstance(result, DegradedPrediction)
+    assert not result.degraded
+    assert result.missing == ()
+    np.testing.assert_allclose(result.probabilities.sum(axis=1), 1.0,
+                               atol=1e-9)
+    np.testing.assert_array_equal(result.predictions,
+                                  result.probabilities.argmax(axis=1))
+    np.testing.assert_allclose(result.confidence,
+                               result.probabilities.max(axis=1))
+
+
+def test_predict_degraded_without_imu(tiny_trained_ensemble):
+    ensemble, train = tiny_trained_ensemble
+    result = ensemble.predict_degraded(images=train.images[:6])
+    assert result.degraded
+    assert result.missing == ("imu",)
+    assert result.probabilities.shape == (6, 6)
+    np.testing.assert_allclose(result.probabilities.sum(axis=1), 1.0,
+                               atol=1e-9)
+
+
+def test_predict_degraded_without_frames(tiny_trained_ensemble):
+    ensemble, train = tiny_trained_ensemble
+    result = ensemble.predict_degraded(imu=train.imu[:6])
+    assert result.degraded
+    assert result.missing == ("frames",)
+    assert result.probabilities.shape == (6, 6)
+    np.testing.assert_allclose(result.probabilities.sum(axis=1), 1.0,
+                               atol=1e-9)
+
+
+def test_predict_degraded_rejects_nothing_at_all(tiny_trained_ensemble):
+    ensemble, _ = tiny_trained_ensemble
+    with pytest.raises(ConfigurationError):
+        ensemble.predict_degraded()
+
+
+def test_predict_degraded_before_fit(rng):
+    ensemble = DarNetEnsemble("cnn+rnn", cnn_config=FAST_CNN,
+                              rnn_config=FAST_RNN, rng=rng)
+    with pytest.raises(NotFittedError):
+        ensemble.predict_degraded(images=np.zeros((1, 1, 8, 8),
+                                                  dtype=np.float32))
+
+
+def test_cnn_only_architecture_cannot_drop_frames(tiny_driving_dataset, rng):
+    train, _ = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(1))
+    ensemble = DarNetEnsemble("cnn", cnn_config=FAST_CNN, rng=rng)
+    ensemble.fit(train)
+    with pytest.raises(ConfigurationError):
+        ensemble.predict_degraded(imu=train.imu[:2])
+    # But frames alone are this architecture's full-fidelity path.
+    result = ensemble.predict_degraded(images=train.images[:2])
+    assert not result.degraded
+
+
+# -- persistence of degraded-mode state --------------------------------------
+
+def test_model_store_round_trips_parent_priors(tiny_trained_ensemble,
+                                               tmp_path):
+    ensemble, train = tiny_trained_ensemble
+    save_ensemble(ensemble, str(tmp_path / "model"))
+    reloaded = load_ensemble(str(tmp_path / "model"),
+                             rng=np.random.default_rng(9))
+    np.testing.assert_allclose(reloaded.combiner.cnn_prior(),
+                               ensemble.combiner.cnn_prior())
+    np.testing.assert_allclose(reloaded.combiner.imu_prior(),
+                               ensemble.combiner.imu_prior())
+    original = ensemble.predict_degraded(images=train.images[:4])
+    restored = reloaded.predict_degraded(images=train.images[:4])
+    np.testing.assert_allclose(restored.probabilities,
+                               original.probabilities, atol=1e-9)
+
+
+def test_load_without_saved_priors_falls_back_to_uniform(
+        tiny_trained_ensemble, tmp_path):
+    ensemble, _ = tiny_trained_ensemble
+    directory = tmp_path / "legacy"
+    save_ensemble(ensemble, str(directory))
+    # Rewrite combiner.npz the way a pre-degraded-mode save looked.
+    combiner_path = directory / "combiner.npz"
+    with np.load(combiner_path) as data:
+        np.savez(combiner_path, cpt=data["cpt"], laplace=data["laplace"])
+    reloaded = load_ensemble(str(directory), rng=np.random.default_rng(9))
+    np.testing.assert_allclose(reloaded.combiner.cnn_prior(),
+                               np.full(6, 1 / 6))
+    np.testing.assert_allclose(reloaded.combiner.imu_prior(),
+                               np.full(3, 1 / 3))

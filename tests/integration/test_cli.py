@@ -2,7 +2,6 @@
 
 import os
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -52,3 +51,11 @@ def test_cli_reproduce_light_experiments(experiment, capsys):
 def test_cli_reproduce_table1(capsys):
     assert main(["reproduce", "table1", "--scale", "smoke"]) == 0
     assert "Normal Driving" in capsys.readouterr().out
+
+
+def test_cli_chaos(capsys):
+    assert main(["chaos", "--duration", "8", "--seed", "1"]) == 0
+    captured = capsys.readouterr().out
+    assert "IMU tuples" in captured
+    assert "== Health ==" in captured
+    assert "windows" in captured

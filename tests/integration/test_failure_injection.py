@@ -7,7 +7,6 @@ behaviour asserted.
 """
 
 import numpy as np
-import pytest
 
 from repro.streaming import (
     CentralizedController,
@@ -149,6 +148,71 @@ def test_out_of_order_heavy_jitter_alignment():
     assert np.all(np.diff(timestamps) >= 0)
     # The linear x-channel must be monotone after ordering.
     assert np.all(np.diff(values[:, 0]) > -0.5)
+
+
+def test_dashcam_goes_silent_mid_drive(rng, tiny_driving_dataset):
+    """The dashcam dies at t=5: the controller must mark it SILENT, keep
+    aligning the surviving phone stream, and the ensemble must still
+    deliver verdicts — flagged degraded — from the IMU modality alone."""
+    from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+    from repro.streaming import CameraSensor, HealthRegistry, HealthState
+
+    true = VirtualClock()
+    phone_uplink = Channel("phone-up", base_latency=0.005, rng=rng)
+    dashcam_uplink = Channel("dashcam-up", base_latency=0.005, rng=rng)
+    phone = CollectionAgent(
+        "phone",
+        [SyntheticSensor("accelerometer", 3,
+                         lambda t: np.array([np.sin(t), 0.0, 9.81]),
+                         noise_std=0.02, rng=rng)],
+        DriftingClock(true, drift_ppm=40.0), phone_uplink,
+        poll_interval=0.05, transmit_interval=0.2, heartbeats=True)
+    dashcam = CollectionAgent(
+        "dashcam",
+        [CameraSensor(lambda t: np.full((8, 8), 0.5, dtype=np.float32))],
+        DriftingClock(true, drift_ppm=-40.0), dashcam_uplink,
+        poll_interval=0.2, transmit_interval=0.4, heartbeats=True)
+    health = HealthRegistry(degraded_after=1.0, silent_after=3.0)
+    controller = CentralizedController(true, grid_period=0.25, health=health)
+    controller.register_agent(phone, phone_uplink)
+    controller.register_agent(dashcam, dashcam_uplink)
+
+    for _ in range(1200):
+        now = true.advance(0.01)
+        if now >= 5.0:
+            dashcam.suspended = True  # process death, never resumes
+        phone.step(now)
+        dashcam.step(now)
+        controller.step(now)
+
+    # Supervision: the dead agent is SILENT, the survivor is not.
+    assert health.state("dashcam") is HealthState.SILENT
+    assert health.state("phone") is HealthState.HEALTHY
+    silent_states = [s for _, s in health.transitions("dashcam")]
+    assert silent_states[-1] is HealthState.SILENT
+    assert controller.health_report()["states"]["dashcam"] == "silent"
+
+    # The surviving stream still aligns over the full drive.
+    grid, aligned = controller.normalize()
+    assert grid[-1] > 10.0
+    assert np.all(np.isfinite(aligned["phone/accelerometer"]))
+    # Frames stop at the death, confirming the missing modality.
+    assert max(f.timestamp for f in controller.frames) < 6.0
+
+    # Analytics continue on the surviving modality, honestly flagged.
+    train, evaluation = tiny_driving_dataset.train_eval_split(
+        rng=np.random.default_rng(0))
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1),
+        rng=np.random.default_rng(1))
+    ensemble.fit(train)
+    verdict = ensemble.predict_degraded(imu=evaluation.imu[:4])
+    assert verdict.degraded
+    assert verdict.missing == ("frames",)
+    assert np.isfinite(verdict.probabilities).all()
+    np.testing.assert_allclose(verdict.probabilities.sum(axis=1), 1.0,
+                               atol=1e-9)
 
 
 def test_ensemble_survives_constant_imu(rng, tiny_driving_dataset):

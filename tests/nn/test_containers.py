@@ -1,7 +1,6 @@
 """Layer container semantics: traversal, training mode, composition."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (
     BatchNorm,

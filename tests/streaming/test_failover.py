@@ -1,0 +1,153 @@
+"""Placement circuit breaker and adaptive privacy escalation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.streaming import (
+    PRIVACY_LADDER,
+    BreakerState,
+    PlacementCircuitBreaker,
+    PrivacyEscalator,
+    ProcessingLocation,
+)
+
+
+def _breaker(**kwargs):
+    defaults = dict(failure_threshold=3, recovery_timeout=2.0,
+                    success_threshold=2)
+    defaults.update(kwargs)
+    return PlacementCircuitBreaker(**defaults)
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+def test_breaker_starts_closed_on_remote():
+    breaker = _breaker()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.location is ProcessingLocation.REMOTE
+    assert breaker.allow_remote(0.0)
+
+
+def test_breaker_trips_after_consecutive_failures():
+    breaker = _breaker()
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure(0.2)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.location is ProcessingLocation.LOCAL
+    assert not breaker.allow_remote(0.3)
+    assert breaker.transitions == [(0.2, ProcessingLocation.LOCAL)]
+
+
+def test_success_resets_the_failure_streak():
+    breaker = _breaker()
+    breaker.record_failure(0.0)
+    breaker.record_failure(0.1)
+    breaker.record_success(0.2)  # streak broken
+    breaker.record_failure(0.3)
+    breaker.record_failure(0.4)
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_half_open_probe_and_full_recovery():
+    breaker = _breaker()
+    for t in (0.0, 0.1, 0.2):
+        breaker.record_failure(t)
+    assert not breaker.allow_remote(1.0)  # recovery window not elapsed
+    assert breaker.allow_remote(2.5)      # admitted as the half-open probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    # Probing happens from LOCAL: one lucky probe must not move traffic.
+    assert breaker.location is ProcessingLocation.LOCAL
+    breaker.record_success(2.5)
+    assert breaker.location is ProcessingLocation.LOCAL
+    breaker.record_success(2.75)
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.location is ProcessingLocation.REMOTE
+    # One failover, one recovery: exactly two placement transitions.
+    assert [loc for _, loc in breaker.transitions] == [
+        ProcessingLocation.LOCAL, ProcessingLocation.REMOTE]
+
+
+def test_half_open_failure_reopens_with_backoff():
+    breaker = _breaker(recovery_timeout=2.0, backoff=2.0)
+    for t in (0.0, 0.1, 0.2):
+        breaker.record_failure(t)
+    assert breaker.allow_remote(2.5)
+    breaker.record_failure(2.5)
+    assert breaker.state is BreakerState.OPEN
+    # The dwell doubled: 2 s is no longer enough.
+    assert not breaker.allow_remote(4.6)
+    assert breaker.allow_remote(6.6)
+    # Failed probes never count as placement transitions (hysteresis).
+    assert [loc for _, loc in breaker.transitions] == [
+        ProcessingLocation.LOCAL]
+
+
+def test_recovery_timeout_is_capped_and_resets_on_close():
+    breaker = _breaker(recovery_timeout=2.0, backoff=10.0,
+                       max_recovery_timeout=5.0)
+    for t in (0.0, 0.1, 0.2):
+        breaker.record_failure(t)
+    breaker.allow_remote(2.5)
+    breaker.record_failure(2.5)          # timeout -> min(20, 5) = 5
+    assert not breaker.allow_remote(7.0)
+    assert breaker.allow_remote(7.6)
+    breaker.record_success(7.6)
+    breaker.record_success(7.7)          # CLOSED again
+    assert breaker.state is BreakerState.CLOSED
+    # Next trip starts from the base recovery timeout again.
+    for t in (8.0, 8.1, 8.2):
+        breaker.record_failure(t)
+    assert breaker.allow_remote(10.3)
+
+
+def test_breaker_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        PlacementCircuitBreaker(failure_threshold=0)
+    with pytest.raises(ConfigurationError):
+        PlacementCircuitBreaker(recovery_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        PlacementCircuitBreaker(backoff=0.9)
+
+
+# -- privacy escalation ------------------------------------------------------
+
+def test_escalator_climbs_the_ladder_under_pressure():
+    escalator = PrivacyEscalator(escalate_above=0.7, relax_below=0.25,
+                                 dwell=1.0)
+    assert escalator.level is None
+    assert escalator.update(0.9, 0.0) == "low"
+    # Dwell: sustained pressure cannot skip rungs within the window.
+    assert escalator.update(0.95, 0.5) == "low"
+    assert escalator.update(0.95, 1.1) == "medium"
+    assert escalator.update(0.95, 2.2) == "high"
+    assert escalator.update(1.0, 3.3) == "high"  # top of the ladder
+    assert escalator.escalations == 3
+
+
+def test_escalator_relaxes_only_below_low_watermark():
+    escalator = PrivacyEscalator(escalate_above=0.7, relax_below=0.25,
+                                 dwell=0.5)
+    escalator.update(0.9, 0.0)
+    assert escalator.level == "low"
+    # Mid-band pressure: hold the level (hysteresis band).
+    assert escalator.update(0.5, 1.0) == "low"
+    assert escalator.update(0.1, 2.0) is None
+    assert escalator.relaxations == 1
+
+
+def test_escalator_ladder_matches_privacy_levels():
+    from repro.core.privacy import PrivacyLevel
+    assert PRIVACY_LADDER[0] is None
+    for value in PRIVACY_LADDER[1:]:
+        assert PrivacyLevel(value).value == value
+
+
+def test_escalator_rejects_bad_configuration():
+    with pytest.raises(ConfigurationError):
+        PrivacyEscalator(escalate_above=0.2, relax_below=0.5)
+    with pytest.raises(ConfigurationError):
+        PrivacyEscalator(dwell=-1.0)
+    with pytest.raises(ConfigurationError):
+        PrivacyEscalator(ladder=("low",))

@@ -1,0 +1,208 @@
+"""Agent liveness supervision and sensor fault detection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, HealthError
+from repro.streaming import (
+    Channel,
+    CollectionAgent,
+    DriftingClock,
+    Heartbeat,
+    HealthRegistry,
+    HealthState,
+    SensorFaultDetector,
+    VirtualClock,
+    accelerometer,
+)
+from repro.streaming.records import SensorReading, payload_size
+
+
+def _reading(t: float, values) -> SensorReading:
+    return SensorReading.create("phone", "accelerometer", t, values)
+
+
+# -- liveness state machine --------------------------------------------------
+
+def test_registry_tracks_healthy_degraded_silent():
+    registry = HealthRegistry(degraded_after=1.0, silent_after=3.0)
+    registry.register("phone", 0.0)
+    assert registry.state("phone") is HealthState.HEALTHY
+    registry.step(0.5)
+    assert registry.state("phone") is HealthState.HEALTHY
+    registry.step(1.5)
+    assert registry.state("phone") is HealthState.DEGRADED
+    registry.step(3.5)
+    assert registry.state("phone") is HealthState.SILENT
+    transitions = [state for _, state in registry.transitions("phone")]
+    assert transitions == [HealthState.DEGRADED, HealthState.SILENT]
+
+
+def test_any_arrival_recovers_a_silent_agent():
+    registry = HealthRegistry(degraded_after=1.0, silent_after=3.0)
+    registry.register("phone", 0.0)
+    registry.step(5.0)
+    assert registry.state("phone") is HealthState.SILENT
+    registry.record_activity("phone", 5.1)
+    assert registry.state("phone") is HealthState.HEALTHY
+
+
+def test_heartbeats_keep_an_idle_agent_alive():
+    registry = HealthRegistry(degraded_after=1.0, silent_after=3.0)
+    registry.register("phone", 0.0)
+    for tick in range(1, 9):
+        registry.record_heartbeat(
+            Heartbeat("phone", 0.5 * tick, tick), 0.5 * tick)
+        registry.step(0.5 * tick)
+    assert registry.state("phone") is HealthState.HEALTHY
+    assert registry.report()["heartbeats"]["phone"] == 8
+
+
+def test_unknown_agent_raises_health_error():
+    registry = HealthRegistry()
+    with pytest.raises(HealthError):
+        registry.state("ghost")
+    with pytest.raises(HealthError):
+        registry.record_activity("ghost", 0.0)
+
+
+def test_duplicate_registration_raises():
+    registry = HealthRegistry()
+    registry.register("phone", 0.0)
+    with pytest.raises(HealthError):
+        registry.register("phone", 1.0)
+
+
+def test_registry_rejects_bad_thresholds():
+    with pytest.raises(ConfigurationError):
+        HealthRegistry(degraded_after=3.0, silent_after=1.0)
+
+
+# -- sensor fault triad ------------------------------------------------------
+
+def test_detector_flags_stuck_sensor():
+    detector = SensorFaultDetector(stuck_count=5)
+    frozen = np.array([1.0, 2.0, 3.0])
+    verdicts = [detector.observe(frozen, 0.1 * i) for i in range(6)]
+    assert verdicts[-1] == "stuck"
+    assert detector.stuck
+
+
+def test_noisy_sensor_is_not_stuck():
+    rng = np.random.default_rng(0)
+    detector = SensorFaultDetector(stuck_count=5)
+    for i in range(50):
+        assert detector.observe(rng.normal(size=3), 0.1 * i) is None
+    assert not detector.stuck
+
+
+def test_detector_flags_spike():
+    rng = np.random.default_rng(1)
+    detector = SensorFaultDetector(min_history=16, spike_sigma=8.0)
+    for i in range(32):
+        detector.observe(rng.normal(scale=0.1, size=3), 0.1 * i)
+    assert detector.observe(np.array([50.0, 0.0, 0.0]), 3.3) == "spike"
+    # The spike is not absorbed into the window statistics.
+    assert detector.observe(rng.normal(scale=0.1, size=3), 3.4) is None
+
+
+def test_detector_dropout_by_arrival_gap():
+    detector = SensorFaultDetector(dropout_after=1.5)
+    detector.observe(np.zeros(3), 0.0)
+    assert not detector.dropped_out(1.0)
+    assert detector.dropped_out(2.0)
+
+
+# -- quarantine through the registry ----------------------------------------
+
+def test_stuck_stream_is_quarantined_and_released():
+    registry = HealthRegistry(
+        detector_factory=lambda: SensorFaultDetector(stuck_count=3))
+    registry.register("phone", 0.0)
+    for i in range(5):
+        accepted = registry.observe_reading(
+            _reading(0.1 * i, [1.0, 1.0, 1.0]), 0.1 * i)
+    assert not accepted
+    assert registry.quarantined() == {"phone/accelerometer"}
+    assert registry.fault_counts["stuck"] == 1
+    # The sensor unsticks: a varying sample lifts the quarantine.
+    assert registry.observe_reading(_reading(0.6, [2.0, 0.0, 1.0]), 0.6)
+    assert registry.quarantined() == set()
+    assert registry.ever_quarantined() == {"phone/accelerometer"}
+
+
+def test_dropout_quarantine_requires_healthy_agent():
+    registry = HealthRegistry(degraded_after=1.0, silent_after=3.0)
+    registry.register("phone", 0.0)
+    registry.observe_reading(_reading(0.0, [0.0, 0.0, 9.8]), 0.0)
+    # Total silence: the agent goes DEGRADED before the sensor's dropout
+    # threshold, so the gap is charged to the network, not the sensor.
+    registry.step(2.5)
+    assert registry.state("phone") is HealthState.DEGRADED
+    assert registry.fault_counts["dropout"] == 0
+    # Now the agent is demonstrably alive (heartbeats flow) while one
+    # sensor stays quiet: that IS a sensor dropout.
+    registry.record_heartbeat(Heartbeat("phone", 2.6, 1), 2.6)
+    registry.step(2.7)
+    assert registry.fault_counts["dropout"] == 1
+    assert registry.quarantined() == {"phone/accelerometer"}
+
+
+def test_spike_rejects_reading_without_quarantine():
+    rng = np.random.default_rng(2)
+    registry = HealthRegistry()
+    registry.register("phone", 0.0)
+    for i in range(20):
+        registry.observe_reading(
+            _reading(0.1 * i, rng.normal(scale=0.1, size=3)), 0.1 * i)
+    assert not registry.observe_reading(_reading(2.1, [99.0, 0.0, 0.0]), 2.1)
+    assert registry.fault_counts["spike"] == 1
+    assert registry.quarantined() == set()
+    assert registry.readings_rejected == 1
+
+
+# -- heartbeat piggy-backing through the agent -------------------------------
+
+def test_agent_piggybacks_heartbeats():
+    true_clock = VirtualClock()
+    clock = DriftingClock(true_clock)
+    channel = Channel("uplink", base_latency=0.001,
+                      rng=np.random.default_rng(3))
+    sensor = accelerometer(lambda t: np.array([0.0, 0.0, 9.81]),
+                           rng=np.random.default_rng(4))
+    agent = CollectionAgent("phone", [sensor], clock, channel,
+                            poll_interval=0.05, transmit_interval=0.2,
+                            heartbeats=True)
+    for _ in range(50):
+        agent.step(true_clock.advance(0.05))
+    batches = [m.payload for m in channel.poll(true_clock.now() + 1.0)]
+    beats = [item for batch in batches for item in batch
+             if isinstance(item, Heartbeat)]
+    assert beats, "every batch should carry a heartbeat"
+    assert all(b.agent_id == "phone" for b in beats)
+    assert [b.sequence for b in beats] == sorted(b.sequence for b in beats)
+    # The counter reflects the transmit instant; polls after the final
+    # transmit are not yet reported.
+    assert 0 < beats[-1].readings_taken <= agent.readings_taken
+    assert payload_size(beats[0]) == 48
+
+
+def test_suspended_agent_transmits_nothing():
+    true_clock = VirtualClock()
+    clock = DriftingClock(true_clock)
+    channel = Channel("uplink", rng=np.random.default_rng(5))
+    sensor = accelerometer(lambda t: np.array([0.0, 0.0, 9.81]),
+                           rng=np.random.default_rng(6))
+    agent = CollectionAgent("phone", [sensor], clock, channel,
+                            poll_interval=0.05, transmit_interval=0.2,
+                            heartbeats=True)
+    agent.suspended = True
+    for _ in range(20):
+        agent.step(true_clock.advance(0.05))
+    assert channel.poll(true_clock.now() + 1.0) == []
+    assert agent.readings_taken == 0
+    # Resuming fast-forwards past the missed slots instead of replaying.
+    agent.suspended = False
+    agent.fast_forward(true_clock.now())
+    agent.step(true_clock.advance(0.05))
+    assert agent.readings_taken <= 1

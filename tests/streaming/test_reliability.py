@@ -1,0 +1,245 @@
+"""Reliable transport: acks, retransmission, dedup, and shedding."""
+
+import numpy as np
+import pytest
+
+import repro.streaming as streaming
+from repro.exceptions import (
+    ConfigurationError,
+    HealthError,
+    ReliabilityError,
+    ReproError,
+    StreamingError,
+)
+from repro.streaming import (
+    Ack,
+    Channel,
+    PayloadClass,
+    ReliablePacket,
+    classify_payload,
+    reliable_link,
+)
+from repro.streaming.records import FrameRecord, SensorReading, payload_size
+
+
+def _reading(seq: int) -> SensorReading:
+    return SensorReading.create("phone", "accelerometer", 0.01 * seq,
+                                [float(seq), 0.0, 9.81])
+
+
+def _frame(t: float) -> FrameRecord:
+    return FrameRecord("dashcam", t, np.zeros((4, 4), dtype=np.float32))
+
+
+# -- exception hierarchy (satellite) ----------------------------------------
+
+def test_fault_tolerance_exception_hierarchy():
+    assert issubclass(ReliabilityError, StreamingError)
+    assert issubclass(HealthError, StreamingError)
+    assert issubclass(StreamingError, ReproError)
+
+
+def test_fault_tolerance_errors_exported_from_streaming():
+    assert streaming.ReliabilityError is ReliabilityError
+    assert streaming.HealthError is HealthError
+    assert streaming.StreamingError is StreamingError
+
+
+# -- envelopes --------------------------------------------------------------
+
+def test_classify_payload_prefers_frames():
+    assert classify_payload(_frame(0.0)) is PayloadClass.FRAME
+    assert classify_payload([_reading(0), _frame(0.0)]) is PayloadClass.FRAME
+    assert classify_payload([_reading(0)]) is PayloadClass.DATA
+    assert classify_payload(b"opaque") is PayloadClass.DATA
+
+
+def test_packet_wire_size_adds_header():
+    payload = [_reading(0), _reading(1)]
+    packet = ReliablePacket(1, payload)
+    assert packet.wire_size == payload_size(payload) + 24
+    # The duck-typed hook means payload_size sees through the envelope too.
+    assert payload_size(packet) == packet.wire_size
+
+
+def test_ack_covers_cumulative_and_selective():
+    ack = Ack(cumulative=3, selective=(7, 9))
+    assert ack.covers(1) and ack.covers(3)
+    assert ack.covers(7) and ack.covers(9)
+    assert not ack.covers(4) and not ack.covers(8)
+
+
+# -- happy path -------------------------------------------------------------
+
+def test_lossless_link_delivers_in_order():
+    sender, receiver = reliable_link("test", rng=np.random.default_rng(0))
+    for seq in range(5):
+        sender.send("phone", "controller", _reading(seq), 0.1 * seq)
+    messages = receiver.poll(2.0)
+    assert [m.payload.values[0] for m in messages] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    # Delivered payloads are unwrapped application objects.
+    assert all(isinstance(m.payload, SensorReading) for m in messages)
+    sender.step(2.1)
+    assert sender.unacked == 0
+    assert sender.stats.acked == 5
+    assert sender.stats.retransmissions == 0
+
+
+def test_retransmission_recovers_from_total_loss():
+    sender, receiver = reliable_link("test", rng=np.random.default_rng(1))
+    sender.data.drop_probability = 1.0
+    sender.send("phone", "controller", _reading(0), 0.0)
+    sender.data.drop_probability = 0.0  # link heals before the first retry
+    now = 0.0
+    while sender.unacked and now < 10.0:
+        now += 0.05
+        sender.step(now)
+        receiver.poll(now)
+    assert sender.unacked == 0
+    assert sender.stats.retransmissions >= 1
+    assert receiver.stats.received == 1
+
+
+def test_receiver_deduplicates_retransmissions():
+    sender, receiver = reliable_link("test", rng=np.random.default_rng(2))
+    # Lose the ack so the sender retransmits a packet already delivered.
+    sender.ack.drop_probability = 1.0
+    sender.send("phone", "controller", _reading(0), 0.0)
+    assert len(receiver.poll(0.5)) == 1
+    sender.ack.drop_probability = 0.0
+    now = 0.5
+    while sender.unacked and now < 10.0:
+        now += 0.05
+        sender.step(now)
+        assert receiver.poll(now) == []  # duplicates never re-deliver
+    assert receiver.stats.duplicates >= 1
+    assert receiver.stats.received == 1
+
+
+def test_selective_acks_survive_gaps():
+    sender, receiver = reliable_link("test", rng=np.random.default_rng(3))
+    sender.send("phone", "controller", _reading(0), 0.0)
+    # Packet 2 is lost; 3 arrives and must be selectively acknowledged.
+    sender.data.drop_probability = 1.0
+    sender.send("phone", "controller", _reading(1), 0.01)
+    sender.data.drop_probability = 0.0
+    sender.send("phone", "controller", _reading(2), 0.02)
+    receiver.poll(0.5)
+    sender.step(0.6)
+    assert sender.unacked == 1  # only the lost packet remains pending
+    now = 0.6
+    while sender.unacked and now < 10.0:
+        now += 0.05
+        sender.step(now)
+        receiver.poll(now)
+    assert receiver.stats.received == 3
+    assert sender.stats.acked == 3
+
+
+def test_srtt_estimate_converges():
+    # base_timeout above the poll cadence: no retransmissions, so every
+    # ack is an unambiguous Karn sample.
+    sender, receiver = reliable_link("test", base_latency=0.05,
+                                     base_timeout=0.5,
+                                     rng=np.random.default_rng(4))
+    now = 0.0
+    for seq in range(10):
+        sender.send("phone", "controller", _reading(seq), now)
+        now += 0.2
+        receiver.poll(now)
+        sender.step(now)
+    # Two 50 ms hops observed at 200 ms step granularity: the ack lands
+    # one step after the delivery poll, so every sample reads 0.4 s.
+    assert sender.srtt == pytest.approx(0.4, abs=0.05)
+    assert sender.stats.retransmissions == 0
+
+
+# -- backpressure -----------------------------------------------------------
+
+def test_shedding_evicts_oldest_frame_first():
+    sender, _ = reliable_link("test", rng=np.random.default_rng(5),
+                              buffer_limit=3)
+    sender.ack.drop_probability = 1.0  # nothing ever acks
+    sender.send("dashcam", "controller", _frame(0.0), 0.0)
+    sender.send("dashcam", "controller", [_reading(1)], 0.1)
+    sender.send("dashcam", "controller", _frame(0.2), 0.2)
+    assert sender.pressure == pytest.approx(1.0)
+    sender.send("dashcam", "controller", [_reading(3)], 0.3)
+    assert sender.stats.shed_frames == 1
+    assert sender.stats.shed_data == 0
+    pending_classes = [e.payload_class for e in sender._pending.values()]
+    # The oldest frame went; the older IMU batch survived it.
+    assert pending_classes.count(PayloadClass.DATA) == 2
+
+
+def test_shedding_falls_back_to_oldest_data():
+    sender, _ = reliable_link("test", rng=np.random.default_rng(6),
+                              buffer_limit=2)
+    sender.ack.drop_probability = 1.0
+    first = sender.send("phone", "controller", [_reading(0)], 0.0)
+    sender.send("phone", "controller", [_reading(1)], 0.1)
+    sender.send("phone", "controller", [_reading(2)], 0.2)
+    assert sender.stats.shed_data == 1
+    assert first not in sender._pending
+
+
+def test_backoff_spaces_out_retries():
+    sender, _ = reliable_link("test", rng=np.random.default_rng(7))
+    sender.data.drop_probability = 1.0
+    sender.jitter = 0.0
+    sender.send("phone", "controller", _reading(0), 0.0)
+    retry_times = []
+    now = 0.0
+    while len(retry_times) < 4 and now < 30.0:
+        now += 0.01
+        before = sender.stats.retransmissions
+        sender.step(now)
+        if sender.stats.retransmissions > before:
+            retry_times.append(now)
+    gaps = np.diff(retry_times)
+    assert len(gaps) == 2 or len(gaps) == 3
+    # Exponential backoff: every gap at least as long as the previous,
+    # with real growth until the max_timeout cap kicks in.
+    assert all(b >= a - 0.02 for a, b in zip(gaps, gaps[1:]))
+    assert gaps[0] >= sender.base_timeout * 0.9
+
+
+def test_abandons_after_max_attempts():
+    sender, _ = reliable_link("test", rng=np.random.default_rng(8))
+    sender.data.drop_probability = 1.0
+    sender.max_attempts = 3
+    sender.send("phone", "controller", _reading(0), 0.0)
+    now = 0.0
+    for _ in range(2000):
+        now += 0.05
+        sender.step(now)
+        if not sender.unacked:
+            break
+    assert sender.unacked == 0
+    assert sender.stats.abandoned == 1
+
+
+# -- validation -------------------------------------------------------------
+
+def test_sender_rejects_bad_configuration():
+    data, ack = Channel("d"), Channel("a")
+    from repro.streaming import ReliableSender
+    with pytest.raises(ConfigurationError):
+        ReliableSender(data, ack, base_timeout=0.0)
+    with pytest.raises(ConfigurationError):
+        ReliableSender(data, ack, backoff=0.5)
+    with pytest.raises(ConfigurationError):
+        ReliableSender(data, ack, jitter=1.5)
+    with pytest.raises(ConfigurationError):
+        ReliableSender(data, ack, buffer_limit=0)
+
+
+def test_misused_channels_raise_reliability_error():
+    sender, receiver = reliable_link("test", rng=np.random.default_rng(9))
+    # A raw payload on the data channel is a wiring bug, not packet loss.
+    receiver.data.send("phone", "controller", _reading(0), 0.0)
+    with pytest.raises(ReliabilityError):
+        receiver.poll(1.0)
+    sender.ack.send("controller", "phone", b"not-an-ack", 0.0)
+    with pytest.raises(ReliabilityError):
+        sender.step(1.0)
