@@ -1,0 +1,186 @@
+"""Serving subsystem — micro-batched vs. per-request throughput.
+
+Measures what the serving layer was built for: coalescing many concurrent
+drivers' verdict requests into shared vectorized forward passes.  The
+comparison replays the same concurrent scripted drives twice — once with
+micro-batching (one batch per grid instant) and once with ``max_batch=1``
+(every request pays its own forward pass) — and reports request
+throughput plus wall-clock latency percentiles across driver counts.
+
+Runs two ways:
+
+* under pytest (with the other benchmarks): writes the usual text report;
+* as a script for CI's bench-smoke job::
+
+      PYTHONPATH=src python benchmarks/bench_serving.py --quick
+
+  which writes a JSON report and exits non-zero if batched throughput
+  fails to beat unbatched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from functools import lru_cache
+
+import numpy as np
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: Acceptance floor: micro-batching must be at least this much faster at
+#: 32 concurrent drivers.
+SPEEDUP_FLOOR = 3.0
+
+
+@lru_cache(maxsize=1)
+def serving_ensemble():
+    """A small trained ensemble shared by every serving measurement.
+
+    Accuracy is irrelevant here — the forward-pass cost is what the
+    serving benchmark exercises — so training is minimal.
+    """
+    from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+    from repro.datasets import generate_driving_dataset
+
+    rng = np.random.default_rng(42)
+    dataset = generate_driving_dataset(90, num_drivers=2, rng=rng)
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1), rng=rng)
+    ensemble.fit(dataset)
+    return ensemble
+
+
+def _row(report) -> dict:
+    return {
+        "drivers": report.drivers,
+        "duration_s": report.duration,
+        "requests": report.requests,
+        "verdicts": report.verdicts,
+        "degraded_verdicts": report.degraded_verdicts,
+        "throughput_rps": round(report.throughput_rps, 1),
+        "wall_seconds": round(report.wall_seconds, 3),
+        "latency_p50_ms": round(report.latency_p50_ms, 2),
+        "latency_p95_ms": round(report.latency_p95_ms, 2),
+        "latency_p99_ms": round(report.latency_p99_ms, 2),
+        "mean_batch_size": round(report.mean_batch_size, 1),
+        "max_batch_size": report.max_batch_size,
+    }
+
+
+def run_comparison(drivers: int = 32, duration: float = 5.0,
+                   seed: int = 1) -> dict:
+    """Batched vs. unbatched replay of the same concurrent drives."""
+    from repro.serving import replay_concurrent_drives
+
+    ensemble = serving_ensemble()
+    batched = replay_concurrent_drives(
+        ensemble, drivers=drivers, duration=duration,
+        max_batch=drivers, seed=seed)
+    unbatched = replay_concurrent_drives(
+        ensemble, drivers=drivers, duration=duration,
+        max_batch=1, seed=seed)
+    speedup = (batched.throughput_rps / unbatched.throughput_rps
+               if unbatched.throughput_rps else float("inf"))
+    return {
+        "drivers": drivers,
+        "batched": _row(batched),
+        "unbatched": _row(unbatched),
+        "speedup": round(speedup, 2),
+    }
+
+
+def run_latency_sweep(driver_counts: tuple[int, ...] = (4, 16, 32),
+                      duration: float = 5.0, seed: int = 2) -> list[dict]:
+    """Micro-batched latency percentiles across driver counts."""
+    from repro.serving import replay_concurrent_drives
+
+    ensemble = serving_ensemble()
+    return [
+        _row(replay_concurrent_drives(ensemble, drivers=count,
+                                      duration=duration, seed=seed))
+        for count in driver_counts
+    ]
+
+
+def format_comparison(comparison: dict, sweep: list[dict]) -> str:
+    """Text form of the JSON report."""
+    batched, unbatched = comparison["batched"], comparison["unbatched"]
+    lines = [
+        f"Serving — micro-batched vs. per-request inference "
+        f"({comparison['drivers']} concurrent drivers)",
+        f"  {'mode':<10} {'rps':>8} {'p50':>8} {'p95':>8} {'p99':>8} "
+        f"{'batch':>6}",
+    ]
+    for name, row in (("batched", batched), ("unbatched", unbatched)):
+        lines.append(
+            f"  {name:<10} {row['throughput_rps']:>8.1f} "
+            f"{row['latency_p50_ms']:>6.1f}ms {row['latency_p95_ms']:>6.1f}ms "
+            f"{row['latency_p99_ms']:>6.1f}ms {row['mean_batch_size']:>6.1f}")
+    lines.append(f"  speedup: {comparison['speedup']:.2f}x")
+    lines.append("")
+    lines.append(f"  latency across driver counts (batched):")
+    lines.append(f"  {'drivers':>8} {'rps':>8} {'p50':>8} {'p95':>8} "
+                 f"{'p99':>8}")
+    for row in sweep:
+        lines.append(
+            f"  {row['drivers']:>8} {row['throughput_rps']:>8.1f} "
+            f"{row['latency_p50_ms']:>6.1f}ms {row['latency_p95_ms']:>6.1f}ms "
+            f"{row['latency_p99_ms']:>6.1f}ms")
+    return "\n".join(lines)
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_serving_batched_speedup(benchmark):
+    """Micro-batching clears the 3x floor at 32 concurrent drivers."""
+    from benchmarks.conftest import write_report
+
+    comparison = benchmark.pedantic(lambda: run_comparison(32, 5.0),
+                                    rounds=1, iterations=1)
+    sweep = run_latency_sweep()
+    write_report("serving", format_comparison(comparison, sweep))
+    assert comparison["speedup"] >= SPEEDUP_FLOOR
+
+
+def test_serving_latency_scales_with_batching(benchmark):
+    """Batched per-request wall latency beats unbatched at 32 drivers."""
+    comparison = benchmark.pedantic(lambda: run_comparison(32, 3.0, seed=7),
+                                    rounds=1, iterations=1)
+    assert (comparison["batched"]["latency_p50_ms"]
+            < comparison["unbatched"]["latency_p50_ms"])
+
+
+# -- script entry point (CI bench-smoke job) ---------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short replay (CI smoke)")
+    parser.add_argument("--drivers", type=int, default=32)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="replay seconds (default 3 quick / 10 full)")
+    parser.add_argument("--out", default=os.path.join(REPORT_DIR,
+                                                      "serving.json"))
+    args = parser.parse_args(argv)
+    duration = args.duration or (3.0 if args.quick else 10.0)
+    comparison = run_comparison(args.drivers, duration)
+    sweep = ([] if args.quick
+             else run_latency_sweep(duration=min(duration, 5.0)))
+    report = {"comparison": comparison, "latency_sweep": sweep}
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(format_comparison(
+        comparison, sweep or [comparison["batched"]]))
+    print(f"\n[json report written to {args.out}]")
+    if comparison["speedup"] < 1.0:
+        print("FAIL: batched throughput fell below unbatched")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

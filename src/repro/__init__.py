@@ -44,6 +44,16 @@ from repro.datasets import (
     generate_driving_dataset,
     to_imu_class,
 )
+from repro.serving import (
+    AdmissionController,
+    DriverSession,
+    InferenceServer,
+    MicroBatchScheduler,
+    ReplayReport,
+    ServingModelRegistry,
+    ServingVerdict,
+    replay_concurrent_drives,
+)
 from repro.streaming import (
     CentralizedController,
     Channel,
@@ -63,5 +73,8 @@ __all__ = [
     "DrivingBehavior", "ImuClass", "to_imu_class", "DrivingDataset",
     "generate_driving_dataset", "generate_alternative_dataset",
     "CollectionSession", "CollectionAgent", "CentralizedController",
-    "Channel", "TimeSeriesDatabase", "VirtualClock", "__version__",
+    "Channel", "TimeSeriesDatabase", "VirtualClock",
+    "InferenceServer", "ServingModelRegistry", "ServingVerdict",
+    "DriverSession", "MicroBatchScheduler", "AdmissionController",
+    "ReplayReport", "replay_concurrent_drives", "__version__",
 ]

@@ -9,6 +9,9 @@ Subcommands mirror the system's lifecycle:
   paper-vs-measured report.
 * ``chaos``     — run the scripted fault-injection drive and print the
   fault-tolerance report.
+* ``serve``     — run the micro-batched inference server; ``--replay``
+  pushes N concurrent scripted drives through it and prints a
+  throughput/latency report.
 """
 
 from __future__ import annotations
@@ -20,18 +23,22 @@ import numpy as np
 
 
 def _cmd_collect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.core import DriveScript, run_collection_drive
     from repro.streaming.persistence import save_tsdb
 
     script = DriveScript.standard(segment_seconds=args.segment_seconds)
     print(f"Running {args.drives} scripted drive(s) "
           f"({script.duration:.0f} s each)...")
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
     total_readings = 0
     for index in range(args.drives):
         result = run_collection_drive(
             script, driver_id=index,
             rng=np.random.default_rng(args.seed + index))
-        path = f"{args.output}/drive_{index:02d}.npz"
+        path = str(output / f"drive_{index:02d}.npz")
         save_tsdb(result.tsdb, path)
         total_readings += result.controller.readings_received
         print(f"  drive {index}: "
@@ -159,6 +166,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import replay_concurrent_drives
+
+    if not args.replay:
+        print("repro serve currently supports --replay mode only; "
+              "pass --replay to run N concurrent scripted drives "
+              "through the inference server.")
+        return 2
+    if args.model:
+        from repro.core import load_ensemble
+
+        print(f"Loading ensemble from {args.model}...")
+        ensemble = load_ensemble(args.model)
+    else:
+        from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+        from repro.datasets import generate_driving_dataset
+
+        rng = np.random.default_rng(args.seed)
+        print(f"No --model given; training a small throwaway ensemble "
+              f"({args.train_samples} samples, {args.train_epochs} "
+              f"epoch(s))...")
+        dataset = generate_driving_dataset(args.train_samples, rng=rng)
+        ensemble = DarNetEnsemble(
+            "cnn+rnn", cnn_config=CnnConfig(epochs=args.train_epochs),
+            rnn_config=RnnConfig(epochs=2 * args.train_epochs), rng=rng)
+        ensemble.fit(dataset)
+    print(f"Replaying {args.drivers} concurrent scripted drives "
+          f"({args.duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
+          f"deadline {args.deadline_ms:.0f} ms, "
+          f"{args.kill_camera} camera(s) killed mid-replay)...")
+    report = replay_concurrent_drives(
+        ensemble, drivers=args.drivers, duration=args.duration,
+        max_batch=args.max_batch, max_delay=args.deadline_ms / 1e3,
+        kill_camera=args.kill_camera, seed=args.seed)
+    print()
+    print(report.format_report())
+    complete = all(count == report.instants
+                   for count in report.verdicts_per_session.values())
+    print(f"\nOne verdict per grid instant per driver: "
+          f"{'yes' if complete else 'NO'}")
+    return 0 if complete else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -201,6 +251,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--duration", type=float, default=30.0)
     chaos.add_argument("--seed", type=int, default=0)
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="run the micro-batched inference server")
+    serve.add_argument("--replay", action="store_true",
+                       help="replay concurrent scripted drives and print "
+                            "a throughput/latency report")
+    serve.add_argument("--drivers", type=int, default=8)
+    serve.add_argument("--duration", type=float, default=20.0)
+    serve.add_argument("--model", default=None,
+                       help="saved ensemble directory (trains a tiny "
+                            "throwaway model when omitted)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="micro-batch size (default: one batch per "
+                            "grid instant; 1 disables batching)")
+    serve.add_argument("--deadline-ms", type=float, default=25.0,
+                       help="micro-batch flush deadline in milliseconds")
+    serve.add_argument("--kill-camera", type=int, default=2,
+                       help="drivers whose camera stream dies mid-replay")
+    serve.add_argument("--train-samples", type=int, default=120)
+    serve.add_argument("--train-epochs", type=int, default=1)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -173,11 +173,47 @@ class DarNetEnsemble:
             self.combiner.fit(cnn_verdicts, imu_verdicts, train.labels)
         self._fitted = True
 
+    # -- input validation ------------------------------------------------
+    def _validate_images(self, images: np.ndarray) -> None:
+        cfg = self.cnn.config
+        images = np.asarray(images)
+        if images.ndim != 4:
+            raise ConfigurationError(
+                f"images must be a 4-d NCHW batch, got {images.ndim}-d "
+                f"array of shape {images.shape}")
+        n, channels, height, width = images.shape
+        if (channels, height, width) != (cfg.in_channels, cfg.image_size,
+                                         cfg.image_size):
+            raise ConfigurationError(
+                f"images must be (n, {cfg.in_channels}, {cfg.image_size}, "
+                f"{cfg.image_size}) for this CNN, got {images.shape}")
+
+    def _validate_windows(self, windows: np.ndarray) -> None:
+        windows = np.asarray(windows)
+        if windows.ndim != 3:
+            raise ConfigurationError(
+                f"IMU windows must be a 3-d (n, steps, features) batch, "
+                f"got {windows.ndim}-d array of shape {windows.shape}")
+        if isinstance(self.imu_model, ImuSequenceRNN):
+            rnn_cfg = self.imu_model.config
+            if windows.shape[1:] != (rnn_cfg.window_steps,
+                                     rnn_cfg.input_features):
+                raise ConfigurationError(
+                    f"IMU windows must be (n, {rnn_cfg.window_steps}, "
+                    f"{rnn_cfg.input_features}) for this RNN, got "
+                    f"{windows.shape}")
+        elif windows.shape[2] != 12:
+            raise ConfigurationError(
+                f"IMU windows must carry 12 features, got {windows.shape}")
+
     # -- inference -------------------------------------------------------
     def predict_proba(self, dataset: DrivingDataset) -> np.ndarray:
         """Combined behaviour-class probabilities per sample."""
         if not self._fitted:
             raise NotFittedError("ensemble used before fit()")
+        self._validate_images(dataset.images)
+        if self.imu_model is not None:
+            self._validate_windows(dataset.imu)
         cnn_probs = self.cnn.predict_proba(dataset.images)
         if self.imu_model is None:
             return cnn_probs
@@ -214,6 +250,10 @@ class DarNetEnsemble:
             raise ConfigurationError(
                 f"architecture {self.architecture!r} has no IMU model to "
                 "fall back on without frames")
+        if images is not None:
+            self._validate_images(images)
+        if imu is not None and self.imu_model is not None:
+            self._validate_windows(imu)
         missing: tuple[str, ...] = ()
         if images is not None and (imu is not None or self.imu_model is None):
             # Full-fidelity path: everything the architecture uses is here.

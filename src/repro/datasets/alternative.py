@@ -103,8 +103,8 @@ class AlternativeDataset:
             cut = int(round(len(members) * train_fraction))
             train_idx.extend(members[:cut])
             eval_idx.extend(members[cut:])
-        return (self.subset(np.array(sorted(train_idx))),
-                self.subset(np.array(sorted(eval_idx))))
+        return (self.subset(np.array(sorted(train_idx), dtype=np.int64)),
+                self.subset(np.array(sorted(eval_idx), dtype=np.int64)))
 
 
 def class_names() -> list[str]:

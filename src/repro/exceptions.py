@@ -50,3 +50,7 @@ class ReliabilityError(StreamingError):
 
 class HealthError(StreamingError):
     """Agent or sensor health supervision detected an unrecoverable fault."""
+
+
+class ServingError(ReproError):
+    """The inference-serving subsystem was asked for something impossible."""

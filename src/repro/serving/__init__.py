@@ -1,0 +1,54 @@
+"""Multi-tenant inference serving for the trained DarNet ensemble.
+
+Turns whole-dataset ``predict()`` calls into a continuously running
+service: per-driver sessions absorb raw IMU readings and frames, a
+micro-batching scheduler coalesces many sessions' verdict requests into
+single vectorized forward passes, a model registry routes each session to
+the variant matching its privacy level (with lazy loading and hot swap),
+and admission control keeps the whole thing bounded under overload.
+"""
+
+from repro.exceptions import ServingError
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+)
+from repro.serving.registry import ModelRecord, ServingModelRegistry
+from repro.serving.replay import (
+    DriverTrace,
+    ReplayReport,
+    replay_concurrent_drives,
+    synthesize_trace,
+)
+from repro.serving.scheduler import (
+    MODALITY_BOTH,
+    MODALITY_FRAMES,
+    MODALITY_IMU,
+    InferenceRequest,
+    MicroBatch,
+    MicroBatchScheduler,
+    SchedulerStats,
+)
+from repro.serving.server import InferenceServer, ServerStats, ServingVerdict
+from repro.serving.sessions import (
+    ALERT_ADJACENT_BOOST,
+    DEGRADED_BOOST,
+    IMU_FEATURES,
+    DriverSession,
+    SessionCounters,
+    StreamState,
+)
+
+__all__ = [
+    "ServingError",
+    "DriverSession", "SessionCounters", "StreamState", "IMU_FEATURES",
+    "ALERT_ADJACENT_BOOST", "DEGRADED_BOOST",
+    "InferenceRequest", "MicroBatch", "MicroBatchScheduler",
+    "SchedulerStats", "MODALITY_BOTH", "MODALITY_IMU", "MODALITY_FRAMES",
+    "ServingModelRegistry", "ModelRecord",
+    "AdmissionController", "AdmissionDecision", "AdmissionStats",
+    "InferenceServer", "ServerStats", "ServingVerdict",
+    "ReplayReport", "DriverTrace", "replay_concurrent_drives",
+    "synthesize_trace",
+]

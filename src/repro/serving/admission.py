@@ -1,0 +1,85 @@
+"""Admission control and backpressure for the inference server.
+
+A serving tier protecting an alert path must fail *selectively*: when the
+offered load exceeds what the models can clear, the work that is dropped
+should be the work that matters least.  This mirrors the shedding policy
+of :mod:`repro.streaming.reliability` (frames are shed before IMU tuples
+there): here, cold sessions are rejected before alert-adjacent or
+degraded ones, and nothing already queued is dropped for a request that
+would rank below it.
+
+Two gates:
+
+* **session admission** — a hard cap on concurrently open sessions (the
+  multi-tenancy bound the operator provisioned for);
+* **request admission** — above the queue high-watermark only requests
+  that beat the lowest queued priority are admitted (the scheduler then
+  sheds that victim), so the queue composition ratchets toward the
+  highest-value work under sustained overload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.serving.scheduler import MicroBatchScheduler
+
+
+class AdmissionDecision(enum.Enum):
+    """Outcome of one admission check."""
+
+    ADMIT = "admit"
+    REJECT_QUEUE_FULL = "reject_queue_full"
+    REJECT_SESSIONS_FULL = "reject_sessions_full"
+
+
+@dataclass
+class AdmissionStats:
+    """Admission counters."""
+
+    requests_admitted: int = 0
+    requests_rejected: int = 0
+    sessions_admitted: int = 0
+    sessions_rejected: int = 0
+
+
+class AdmissionController:
+    """Bounded-capacity gatekeeper in front of the scheduler.
+
+    Args:
+        max_sessions: concurrently open driver sessions allowed.
+        high_watermark: queue-depth fraction (of scheduler capacity) above
+            which requests must beat the lowest queued priority to enter.
+    """
+
+    def __init__(self, *, max_sessions: int = 1024,
+                 high_watermark: float = 0.9) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError("max_sessions must be >= 1")
+        if not 0.0 < high_watermark <= 1.0:
+            raise ConfigurationError("high_watermark must be in (0, 1]")
+        self.max_sessions = int(max_sessions)
+        self.high_watermark = float(high_watermark)
+        self.stats = AdmissionStats()
+
+    def admit_session(self, active_sessions: int) -> AdmissionDecision:
+        """Whether a new driver session may open."""
+        if active_sessions >= self.max_sessions:
+            self.stats.sessions_rejected += 1
+            return AdmissionDecision.REJECT_SESSIONS_FULL
+        self.stats.sessions_admitted += 1
+        return AdmissionDecision.ADMIT
+
+    def admit_request(self, priority: float,
+                      scheduler: MicroBatchScheduler) -> AdmissionDecision:
+        """Whether a verdict request may enter the scheduler's queue."""
+        threshold = self.high_watermark * scheduler.capacity
+        if scheduler.depth >= threshold:
+            lowest = scheduler.lowest_priority()
+            if lowest is not None and priority <= lowest:
+                self.stats.requests_rejected += 1
+                return AdmissionDecision.REJECT_QUEUE_FULL
+        self.stats.requests_admitted += 1
+        return AdmissionDecision.ADMIT

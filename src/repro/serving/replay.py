@@ -1,0 +1,271 @@
+"""Concurrent scripted-drive replay through the inference server.
+
+The serving subsystem's proof of life: synthesize N drivers' raw streams
+(per-segment IMU physics + rendered cabin frames, the same generators the
+collection framework uses), feed them into an :class:`InferenceServer`
+instant by instant, and measure what the service actually delivers —
+request throughput, wall-clock latency percentiles, batch sizes, and the
+degraded-verdict coverage for drivers whose camera dies mid-replay.
+
+Stream synthesis happens *before* the timed loop so the report measures
+the serving path (session upkeep, scheduling, vectorized inference), not
+the synthetic data generators.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.darnet import DriveScript
+from repro.datasets.classes import DrivingBehavior
+from repro.datasets.image_synth import DriverAppearance, SceneRenderer
+from repro.datasets.imu_synth import (
+    SENSOR_ORDER,
+    DriverProfile,
+    ImuTraceGenerator,
+)
+from repro.exceptions import ConfigurationError
+from repro.serving.registry import ServingModelRegistry
+from repro.serving.server import InferenceServer, ServingVerdict
+
+
+@dataclass
+class DriverTrace:
+    """Pre-synthesized raw streams for one replay driver."""
+
+    driver_id: int
+    imu: np.ndarray          # (instants, 12) grid-aligned samples
+    frames: list[np.ndarray]  # one frame per grid instant
+    labels: np.ndarray       # scripted behaviour per instant
+
+
+def synthesize_trace(driver_id: int, instants: np.ndarray, *,
+                     script: DriveScript,
+                     rng: np.random.Generator) -> DriverTrace:
+    """Raw per-instant IMU vectors and frames for one scripted drive."""
+    profile = DriverProfile.sample(driver_id, rng)
+    appearance = DriverAppearance.sample(driver_id, rng)
+    renderer = SceneRenderer(appearance)
+    episodes = {
+        index: ImuTraceGenerator(behavior, profile, rng=rng)
+        for index, (_, _, behavior) in enumerate(script.segments)
+    }
+    idle = ImuTraceGenerator(DrivingBehavior.NORMAL, profile, rng=rng)
+
+    def segment_at(t: float) -> int | None:
+        for index, (start, end, _) in enumerate(script.segments):
+            if start <= t < end:
+                return index
+        return None
+
+    def behavior_at(t: float) -> int:
+        index = segment_at(t)
+        if index is None:
+            return int(DrivingBehavior.NORMAL)
+        return int(script.segments[index][2])
+
+    frame_fn = renderer.frame_fn(behavior_at, rng=rng)
+    imu = np.zeros((len(instants), 12))
+    frames: list[np.ndarray] = []
+    labels = np.zeros(len(instants), dtype=np.int64)
+    for k, t in enumerate(instants):
+        index = segment_at(float(t))
+        generator = idle if index is None else episodes[index]
+        imu[k] = np.concatenate(
+            [generator.sample(sensor, float(t)) for sensor in SENSOR_ORDER])
+        frames.append(np.asarray(frame_fn(float(t)), dtype=np.float32))
+        labels[k] = behavior_at(float(t))
+    return DriverTrace(driver_id=driver_id, imu=imu, frames=frames,
+                       labels=labels)
+
+
+@dataclass
+class ReplayReport:
+    """What the server delivered over one concurrent replay."""
+
+    drivers: int
+    duration: float
+    grid_period: float
+    instants: int
+    requests: int
+    verdicts: int
+    degraded_verdicts: int
+    rejected: int
+    shed: int
+    unservable: int
+    wall_seconds: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    mean_batch_size: float
+    max_batch_size: int
+    killed_sessions: list[str] = field(default_factory=list)
+    verdicts_per_session: dict[str, int] = field(default_factory=dict)
+    degraded_per_session: dict[str, int] = field(default_factory=dict)
+
+    def format_report(self) -> str:
+        """Human-readable throughput/latency summary."""
+        lines = [
+            f"Serving replay — {self.drivers} concurrent drivers, "
+            f"{self.duration:.0f} s at {1 / self.grid_period:.0f} Hz "
+            f"({self.instants} grid instants)",
+            f"  requests   {self.requests}   verdicts {self.verdicts}   "
+            f"degraded {self.degraded_verdicts}   rejected {self.rejected}"
+            f"   shed {self.shed}",
+            f"  throughput {self.throughput_rps:8.1f} verdicts/s   "
+            f"wall {self.wall_seconds:.2f} s",
+            f"  latency    p50 {self.latency_p50_ms:6.2f} ms   "
+            f"p95 {self.latency_p95_ms:6.2f} ms   "
+            f"p99 {self.latency_p99_ms:6.2f} ms",
+            f"  batching   mean {self.mean_batch_size:.1f}   "
+            f"max {self.max_batch_size}",
+        ]
+        if self.killed_sessions:
+            killed = ", ".join(self.killed_sessions)
+            lines.append(f"  camera killed mid-replay: {killed}")
+            for sid in self.killed_sessions:
+                lines.append(
+                    f"    {sid}: {self.verdicts_per_session.get(sid, 0)} "
+                    f"verdicts, {self.degraded_per_session.get(sid, 0)} "
+                    f"degraded")
+        return "\n".join(lines)
+
+
+def _as_registry(model) -> ServingModelRegistry:
+    if isinstance(model, ServingModelRegistry):
+        return model
+    registry = ServingModelRegistry()
+    registry.register("base", model)
+    return registry
+
+
+def replay_concurrent_drives(model, *, drivers: int = 8,
+                             duration: float = 20.0,
+                             grid_period: float = 0.25,
+                             max_batch: int | None = None,
+                             max_delay: float = 0.025,
+                             queue_capacity: int | None = None,
+                             kill_camera: int = 0,
+                             kill_at_fraction: float = 0.5,
+                             frame_stale_after: float = 1.0,
+                             seed: int = 0,
+                             script: DriveScript | None = None
+                             ) -> ReplayReport:
+    """Replay ``drivers`` concurrent scripted drives through a server.
+
+    Args:
+        model: a trained ensemble (anything with ``predict_degraded``) or
+            a pre-built :class:`ServingModelRegistry`.
+        drivers: concurrent driver sessions.
+        duration: simulated drive length in seconds.
+        grid_period: verdict cadence (paper: 0.25 s).
+        max_batch: micro-batch size; defaults to ``drivers`` (one batch
+            per grid instant); pass 1 for the unbatched baseline.
+        max_delay: micro-batch flush deadline.
+        queue_capacity: scheduler bound; defaults to ``4 * drivers``.
+        kill_camera: how many drivers lose their camera stream mid-replay
+            (their verdicts must degrade, not stop).
+        kill_at_fraction: when the cameras die, as a fraction of duration.
+        frame_stale_after: staleness horizon after which a silent camera
+            stream is treated as missing.
+        seed: randomness seed for the synthetic drives.
+        script: drive script; a standard all-behaviours script by default.
+    """
+    if drivers < 1 or duration <= 0:
+        raise ConfigurationError("need drivers >= 1 and duration > 0")
+    if not 0 <= kill_camera <= drivers:
+        raise ConfigurationError("kill_camera must be in [0, drivers]")
+    rng = np.random.default_rng(seed)
+    instants = np.arange(0.0, duration, grid_period)
+    if script is None:
+        behaviors = list(DrivingBehavior)
+        segment = max(1.0, duration / len(behaviors) - 0.25)
+        script = DriveScript.standard(segment_seconds=segment,
+                                      gap_seconds=0.25)
+    traces = [
+        synthesize_trace(d, instants, script=script,
+                         rng=np.random.default_rng(seed + 1000 + d))
+        for d in range(drivers)
+    ]
+
+    registry = _as_registry(model)
+    registry.warm()
+    server = InferenceServer(
+        registry,
+        max_batch=drivers if max_batch is None else max_batch,
+        max_delay=max_delay,
+        queue_capacity=(4 * drivers if queue_capacity is None
+                        else queue_capacity))
+    session_ids = [server.open_session(trace.driver_id)
+                   for trace in traces]
+    for sid in session_ids:
+        server.session(sid).frame_stale_after = frame_stale_after
+    killed = sorted(rng.choice(drivers, size=kill_camera, replace=False)) \
+        if kill_camera else []
+    killed_sessions = [session_ids[int(i)] for i in killed]
+    kill_time = kill_at_fraction * duration
+
+    submitted_at: dict[tuple[str, int], float] = {}
+    wall_latencies: list[float] = []
+    delivered: list[ServingVerdict] = []
+
+    def absorb(verdicts: list[ServingVerdict]) -> None:
+        done = time.perf_counter()
+        for verdict in verdicts:
+            key = (verdict.session_id, verdict.sequence)
+            start = submitted_at.pop(key, None)
+            if start is not None:
+                wall_latencies.append(done - start)
+        delivered.extend(verdicts)
+
+    wall_start = time.perf_counter()
+    for k, t in enumerate(instants):
+        now = float(t)
+        for index, (sid, trace) in enumerate(zip(session_ids, traces)):
+            server.ingest_imu(sid, now, trace.imu[k])
+            if not (sid in killed_sessions and now >= kill_time):
+                server.ingest_frame(sid, now, trace.frames[k])
+            session = server.session(sid)
+            before = session.counters.requests
+            if server.request_verdict(sid, now):
+                submitted_at[(sid, before + 1)] = time.perf_counter()
+        absorb(server.step(now))
+        absorb(server.step(now + max_delay))
+    absorb(server.drain(duration))
+    wall_seconds = time.perf_counter() - wall_start
+
+    per_session: dict[str, int] = {sid: 0 for sid in session_ids}
+    degraded_per: dict[str, int] = {sid: 0 for sid in session_ids}
+    for verdict in delivered:
+        per_session[verdict.session_id] += 1
+        if verdict.degraded:
+            degraded_per[verdict.session_id] += 1
+    latencies_ms = 1e3 * np.asarray(wall_latencies or [0.0])
+    stats = server.stats
+    return ReplayReport(
+        drivers=drivers,
+        duration=float(duration),
+        grid_period=float(grid_period),
+        instants=len(instants),
+        requests=stats.requests,
+        verdicts=stats.verdicts,
+        degraded_verdicts=stats.degraded_verdicts,
+        rejected=stats.rejected,
+        shed=server.scheduler.stats.shed,
+        unservable=stats.unservable,
+        wall_seconds=wall_seconds,
+        throughput_rps=(stats.verdicts / wall_seconds
+                        if wall_seconds > 0 else 0.0),
+        latency_p50_ms=float(np.percentile(latencies_ms, 50)),
+        latency_p95_ms=float(np.percentile(latencies_ms, 95)),
+        latency_p99_ms=float(np.percentile(latencies_ms, 99)),
+        mean_batch_size=server.scheduler.stats.mean_batch_size,
+        max_batch_size=server.scheduler.stats.max_batch_size,
+        killed_sessions=killed_sessions,
+        verdicts_per_session=per_session,
+        degraded_per_session=degraded_per,
+    )

@@ -1,0 +1,259 @@
+"""The multi-tenant inference server facade.
+
+Ties the serving subsystem together: :class:`~.sessions.DriverSession`
+objects absorb raw readings, the
+:class:`~.scheduler.MicroBatchScheduler` coalesces verdict requests from
+many sessions into vectorized forward passes, the
+:class:`~.registry.ServingModelRegistry` resolves each session's model
+variant, and the :class:`~.admission.AdmissionController` keeps the whole
+thing bounded under overload.
+
+The server is clock-driven like the rest of the streaming stack: callers
+ingest readings and request verdicts with explicit timestamps, then
+:meth:`InferenceServer.step` flushes due micro-batches and delivers
+verdicts.  When a session's camera stream goes stale mid-drive the
+request is dispatched IMU-only and classified through
+``predict_degraded`` — the driver keeps getting (flagged) verdicts, which
+is the whole point of the PR-1 degraded-mode path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
+from repro.exceptions import ServingError
+from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.registry import ServingModelRegistry
+from repro.serving.scheduler import (
+    MODALITY_BOTH,
+    MODALITY_FRAMES,
+    MODALITY_IMU,
+    InferenceRequest,
+    MicroBatch,
+    MicroBatchScheduler,
+)
+from repro.serving.sessions import DriverSession, StreamState
+
+
+@dataclass
+class ServingVerdict:
+    """One delivered classification."""
+
+    session_id: str
+    sequence: int
+    timestamp: float          # the grid instant the request was made for
+    predicted: int
+    probabilities: np.ndarray
+    confidence: float
+    degraded: bool
+    missing: tuple[str, ...]
+    model_key: str
+    model_generation: int
+    batch_size: int
+    latency: float            # request-to-delivery in simulation time
+
+
+@dataclass
+class ServerStats:
+    """Server-level counters and latency accounting."""
+
+    requests: int = 0
+    verdicts: int = 0
+    degraded_verdicts: int = 0
+    rejected: int = 0
+    unservable: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def record_latency(self, value: float) -> None:
+        self.latencies.append(float(value))
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile in seconds (0.0 before any verdicts)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), percentile))
+
+
+class InferenceServer:
+    """Micro-batched multi-driver inference service.
+
+    Args:
+        registry: model variants (a bare ensemble may be wrapped with
+            :meth:`for_model`).
+        max_batch: micro-batch flush size.
+        max_delay: micro-batch flush deadline in seconds.
+        queue_capacity: bound on queued requests (beyond it the scheduler
+            sheds lowest-priority work).
+        admission: overload gatekeeper; built with defaults when omitted.
+        window_steps: IMU window length for new sessions.
+    """
+
+    def __init__(self, registry: ServingModelRegistry, *,
+                 max_batch: int = 32, max_delay: float = 0.025,
+                 queue_capacity: int = 256,
+                 admission: AdmissionController | None = None,
+                 window_steps: int = DEFAULT_WINDOW_STEPS) -> None:
+        self.registry = registry
+        self.scheduler = MicroBatchScheduler(max_batch=max_batch,
+                                             max_delay=max_delay,
+                                             capacity=queue_capacity)
+        self.admission = admission or AdmissionController()
+        self.window_steps = int(window_steps)
+        self.stats = ServerStats()
+        self._sessions: dict[str, DriverSession] = {}
+        self._outboxes: dict[str, list[ServingVerdict]] = {}
+
+    @classmethod
+    def for_model(cls, model, **options) -> "InferenceServer":
+        """A server over a single-variant registry (the common case)."""
+        registry = ServingModelRegistry()
+        registry.register("base", model)
+        return cls(registry, **options)
+
+    # -- session lifecycle -----------------------------------------------
+    @property
+    def sessions(self) -> list[str]:
+        """Open session ids."""
+        return list(self._sessions)
+
+    def session(self, session_id: str) -> DriverSession:
+        """The live session object (for stats/inspection)."""
+        if session_id not in self._sessions:
+            raise ServingError(f"no open session {session_id!r}")
+        return self._sessions[session_id]
+
+    def open_session(self, driver_id: int, *, privacy: str | None = None,
+                     session_id: str | None = None,
+                     base_priority: float = 0.0) -> str:
+        """Open a driver session; raises :class:`ServingError` when full."""
+        decision = self.admission.admit_session(len(self._sessions))
+        if decision is not AdmissionDecision.ADMIT:
+            raise ServingError(
+                f"session admission rejected: {decision.value} "
+                f"({len(self._sessions)} open)")
+        session_id = session_id or f"drv-{driver_id}"
+        if session_id in self._sessions:
+            raise ServingError(f"session {session_id!r} already open")
+        self._sessions[session_id] = DriverSession(
+            session_id=session_id, driver_id=int(driver_id),
+            privacy=privacy, window_steps=self.window_steps,
+            base_priority=base_priority)
+        self._outboxes[session_id] = []
+        return session_id
+
+    def close_session(self, session_id: str) -> DriverSession:
+        """Close a session, returning its final state (with counters)."""
+        session = self.session(session_id)
+        del self._sessions[session_id]
+        self._outboxes.pop(session_id, None)
+        return session
+
+    # -- ingest ----------------------------------------------------------
+    def ingest_imu(self, session_id: str, timestamp: float,
+                   values: np.ndarray) -> None:
+        """Feed one raw 12-feature IMU sample into a session."""
+        self.session(session_id).ingest_imu(timestamp, values)
+
+    def ingest_frame(self, session_id: str, timestamp: float,
+                     image: np.ndarray) -> None:
+        """Feed the latest camera frame into a session."""
+        self.session(session_id).ingest_frame(timestamp, image)
+
+    # -- request path ----------------------------------------------------
+    def request_verdict(self, session_id: str, now: float) -> bool:
+        """Ask for a verdict at instant ``now``; True if queued.
+
+        The request carries whatever streams are currently LIVE: a stale
+        or dead camera yields an IMU-only (degraded) request and vice
+        versa.  Returns False when nothing is servable or admission /
+        the queue turned the request away.
+        """
+        session = self.session(session_id)
+        self.stats.requests += 1
+        frame = (session.latest_frame()
+                 if session.frame_state(now) is StreamState.LIVE else None)
+        window = (session.window()
+                  if session.imu_state(now) is StreamState.LIVE else None)
+        if frame is None and window is None:
+            self.stats.unservable += 1
+            return False
+        priority = session.priority(now)
+        if (self.admission.admit_request(priority, self.scheduler)
+                is not AdmissionDecision.ADMIT):
+            self.stats.rejected += 1
+            return False
+        request = InferenceRequest(
+            session_id=session_id, sequence=session.next_sequence(),
+            submitted_at=now, deadline=now + self.scheduler.max_delay,
+            priority=priority, model_key=self.registry.route(session.privacy),
+            window=window, frame=frame)
+        if not self.scheduler.submit(request, now):
+            self.stats.rejected += 1
+            return False
+        return True
+
+    # -- dispatch --------------------------------------------------------
+    def step(self, now: float, *, force: bool = False
+             ) -> list[ServingVerdict]:
+        """Flush due micro-batches and deliver their verdicts."""
+        verdicts: list[ServingVerdict] = []
+        for batch in self.scheduler.flush(now, force=force):
+            verdicts.extend(self._dispatch(batch, now))
+        return verdicts
+
+    def drain(self, now: float) -> list[ServingVerdict]:
+        """Force-flush everything still queued (end of replay/shutdown)."""
+        return self.step(now, force=True)
+
+    def poll(self, session_id: str) -> list[ServingVerdict]:
+        """Drain the delivered-verdict outbox of one session."""
+        self.session(session_id)  # existence check
+        outbox = self._outboxes[session_id]
+        self._outboxes[session_id] = []
+        return outbox
+
+    def _dispatch(self, batch: MicroBatch, now: float
+                  ) -> list[ServingVerdict]:
+        model = self.registry.get(batch.model_key)
+        generation = self.registry.record(batch.model_key).generation
+        if batch.modality == MODALITY_BOTH:
+            result = model.predict_degraded(
+                images=np.stack([r.frame for r in batch.requests]),
+                imu=np.stack([r.window for r in batch.requests]))
+        elif batch.modality == MODALITY_IMU:
+            result = model.predict_degraded(
+                imu=np.stack([r.window for r in batch.requests]))
+        elif batch.modality == MODALITY_FRAMES:
+            result = model.predict_degraded(
+                images=np.stack([r.frame for r in batch.requests]))
+        else:
+            raise ServingError(f"unknown modality {batch.modality!r}")
+        verdicts = []
+        for index, request in enumerate(batch.requests):
+            verdict = ServingVerdict(
+                session_id=request.session_id,
+                sequence=request.sequence,
+                timestamp=request.submitted_at,
+                predicted=int(result.predictions[index]),
+                probabilities=result.probabilities[index],
+                confidence=float(result.confidence[index]),
+                degraded=result.degraded,
+                missing=result.missing,
+                model_key=batch.model_key,
+                model_generation=generation,
+                batch_size=len(batch.requests),
+                latency=now - request.submitted_at,
+            )
+            verdicts.append(verdict)
+            self.stats.verdicts += 1
+            if verdict.degraded:
+                self.stats.degraded_verdicts += 1
+            self.stats.record_latency(verdict.latency)
+            session = self._sessions.get(request.session_id)
+            if session is not None:
+                session.record_verdict(verdict.predicted, verdict.degraded)
+                self._outboxes[request.session_id].append(verdict)
+        return verdicts

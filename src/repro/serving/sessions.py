@@ -1,0 +1,195 @@
+"""Per-driver serving sessions.
+
+The paper's deployment is continuous per-driver classification through a
+centralized controller (§3, Fig. 1): the phone streams raw IMU tuples and
+the dashcam streams frames, and the *server* is responsible for cutting
+the trailing 4 Hz x 5 s window at each instant.  A :class:`DriverSession`
+is that server-side state: callers submit raw readings as they arrive,
+and the session maintains the ring buffer and latest frame so a verdict
+can be requested at any instant without the caller pre-cutting windows.
+
+Sessions also carry the scheduling signals the micro-batcher uses:
+
+* *alert adjacency* — a driver whose last verdict was a distraction class
+  is the driver the system exists for; their requests jump the queue and
+  are shed last;
+* *degradation* — a driver with a dead stream is already running on
+  marginalized posteriors; dropping their remaining modality too would
+  silence them entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.classes import DrivingBehavior
+from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
+from repro.exceptions import ConfigurationError
+
+#: Width of one IMU grid sample (4 sensors x 3 axes, paper §4.1).
+IMU_FEATURES = 12
+
+#: Priority boosts, added to a session's base priority.
+ALERT_ADJACENT_BOOST = 2.0
+DEGRADED_BOOST = 1.0
+
+
+class StreamState(enum.Enum):
+    """Liveness of one sensor stream feeding a session."""
+
+    LIVE = "live"      # fresh data within the staleness window
+    STALE = "stale"    # data exists but has aged out
+    DEAD = "dead"      # never delivered anything
+
+
+@dataclass
+class SessionCounters:
+    """Per-session serving counters."""
+
+    imu_samples: int = 0
+    frames: int = 0
+    requests: int = 0
+    verdicts: int = 0
+    degraded_verdicts: int = 0
+
+
+@dataclass
+class DriverSession:
+    """Server-side state for one driver's continuous classification.
+
+    Args:
+        session_id: unique id within the server.
+        driver_id: the driver this session serves.
+        privacy: the session's distortion level value (``None`` /
+            ``"low"`` / ``"medium"`` / ``"high"``) — routes it to the
+            matching model variant in the registry.
+        window_steps: IMU window length (paper: 20 steps = 4 Hz x 5 s).
+        imu_stale_after: seconds of IMU silence before the stream is STALE.
+        frame_stale_after: seconds of frame silence before it is STALE.
+        base_priority: scheduling priority floor for this session.
+    """
+
+    session_id: str
+    driver_id: int
+    privacy: str | None = None
+    window_steps: int = DEFAULT_WINDOW_STEPS
+    imu_stale_after: float = 2.0
+    frame_stale_after: float = 1.0
+    base_priority: float = 0.0
+    counters: SessionCounters = field(default_factory=SessionCounters)
+
+    def __post_init__(self) -> None:
+        if self.window_steps < 1:
+            raise ConfigurationError("window_steps must be >= 1")
+        self._buffer = np.zeros((self.window_steps, IMU_FEATURES),
+                                dtype=np.float64)
+        self._filled = 0
+        self._head = 0  # next write position
+        self._latest_frame: np.ndarray | None = None
+        self._last_imu_at: float | None = None
+        self._last_frame_at: float | None = None
+        self._last_predicted: int | None = None
+        self._last_degraded = False
+        self._sequence = 0
+
+    # -- ingest ----------------------------------------------------------
+    def ingest_imu(self, timestamp: float, values: np.ndarray) -> None:
+        """Append one grid-aligned 12-feature IMU sample."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.shape != (IMU_FEATURES,):
+            raise ConfigurationError(
+                f"IMU sample must have {IMU_FEATURES} features, "
+                f"got shape {values.shape}")
+        self._buffer[self._head] = values
+        self._head = (self._head + 1) % self.window_steps
+        self._filled = min(self._filled + 1, self.window_steps)
+        self._last_imu_at = float(timestamp)
+        self.counters.imu_samples += 1
+
+    def ingest_frame(self, timestamp: float, image: np.ndarray) -> None:
+        """Replace the latest camera frame (HW or CHW)."""
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim == 2:
+            image = image[None]
+        if image.ndim != 3:
+            raise ConfigurationError(
+                f"frame must be HW or CHW, got shape {image.shape}")
+        self._latest_frame = image
+        self._last_frame_at = float(timestamp)
+        self.counters.frames += 1
+
+    # -- snapshots -------------------------------------------------------
+    def window(self) -> np.ndarray | None:
+        """The trailing IMU window in chronological order.
+
+        Until the ring fills, the oldest available sample is repeated to
+        pad the front (bootstrap), so verdicts can flow from the first
+        instant of a drive; returns ``None`` before any sample arrives.
+        """
+        if self._filled == 0:
+            return None
+        if self._filled == self.window_steps:
+            return np.roll(self._buffer, -self._head, axis=0).copy()
+        recent = self._buffer[:self._filled]
+        pad = np.repeat(recent[:1], self.window_steps - self._filled, axis=0)
+        return np.concatenate([pad, recent], axis=0)
+
+    def latest_frame(self) -> np.ndarray | None:
+        """The most recent frame (CHW), or ``None``."""
+        return self._latest_frame
+
+    # -- liveness --------------------------------------------------------
+    def _state(self, last_at: float | None, stale_after: float,
+               now: float) -> StreamState:
+        if last_at is None:
+            return StreamState.DEAD
+        if now - last_at > stale_after:
+            return StreamState.STALE
+        return StreamState.LIVE
+
+    def imu_state(self, now: float) -> StreamState:
+        """Liveness of the IMU stream at ``now``."""
+        return self._state(self._last_imu_at, self.imu_stale_after, now)
+
+    def frame_state(self, now: float) -> StreamState:
+        """Liveness of the camera stream at ``now``."""
+        return self._state(self._last_frame_at, self.frame_stale_after, now)
+
+    # -- scheduling signals ----------------------------------------------
+    @property
+    def alert_adjacent(self) -> bool:
+        """Whether the last verdict was a distraction class."""
+        return (self._last_predicted is not None
+                and self._last_predicted != int(DrivingBehavior.NORMAL))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the last verdict ran on a marginalized posterior."""
+        return self._last_degraded
+
+    def priority(self, now: float) -> float:
+        """Scheduling priority (higher = flushed first, shed last)."""
+        del now  # signature kept time-aware for future aging policies
+        value = self.base_priority
+        if self.alert_adjacent:
+            value += ALERT_ADJACENT_BOOST
+        if self._last_degraded:
+            value += DEGRADED_BOOST
+        return value
+
+    def next_sequence(self) -> int:
+        """Monotonic per-session request sequence number."""
+        self._sequence += 1
+        self.counters.requests += 1
+        return self._sequence
+
+    def record_verdict(self, predicted: int, degraded: bool) -> None:
+        """Feed a delivered verdict back into the scheduling signals."""
+        self._last_predicted = int(predicted)
+        self._last_degraded = bool(degraded)
+        self.counters.verdicts += 1
+        if degraded:
+            self.counters.degraded_verdicts += 1

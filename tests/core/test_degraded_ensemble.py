@@ -156,6 +156,50 @@ def test_cnn_only_architecture_cannot_drop_frames(tiny_driving_dataset, rng):
     assert not result.degraded
 
 
+# -- input-shape validation ---------------------------------------------------
+
+def test_predict_degraded_rejects_non_nchw_images(tiny_trained_ensemble):
+    ensemble, train = tiny_trained_ensemble
+    with pytest.raises(ConfigurationError, match="4-d NCHW"):
+        ensemble.predict_degraded(images=train.images[0])  # missing batch dim
+
+
+def test_predict_degraded_rejects_wrong_image_geometry(tiny_trained_ensemble):
+    ensemble, _ = tiny_trained_ensemble
+    bad = np.zeros((2, 1, 8, 8), dtype=np.float32)
+    with pytest.raises(ConfigurationError, match="for this CNN"):
+        ensemble.predict_degraded(images=bad)
+
+
+def test_predict_degraded_rejects_flat_windows(tiny_trained_ensemble):
+    ensemble, train = tiny_trained_ensemble
+    with pytest.raises(ConfigurationError, match="3-d"):
+        ensemble.predict_degraded(imu=train.imu[0])  # missing batch dim
+
+
+def test_predict_degraded_rejects_wrong_window_geometry(
+        tiny_trained_ensemble):
+    ensemble, _ = tiny_trained_ensemble
+    bad = np.zeros((2, 5, 12), dtype=np.float32)
+    with pytest.raises(ConfigurationError, match="for this RNN"):
+        ensemble.predict_degraded(imu=bad)
+
+
+def test_predict_proba_validates_dataset_shapes(tiny_trained_ensemble):
+    import dataclasses
+
+    ensemble, train = tiny_trained_ensemble
+    n = train.labels.shape[0]
+    squashed = dataclasses.replace(
+        train, images=np.zeros((n, 1, 8, 8), dtype=np.float32))
+    with pytest.raises(ConfigurationError, match="for this CNN"):
+        ensemble.predict_proba(squashed)
+    truncated = dataclasses.replace(
+        train, imu=train.imu[:, :5, :])
+    with pytest.raises(ConfigurationError, match="for this RNN"):
+        ensemble.predict(truncated)
+
+
 # -- persistence of degraded-mode state --------------------------------------
 
 def test_model_store_round_trips_parent_priors(tiny_trained_ensemble,

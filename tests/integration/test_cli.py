@@ -30,6 +30,17 @@ def test_cli_collect(tmp_path, capsys):
     assert os.path.exists(os.path.join(out, "drive_00.npz"))
 
 
+def test_cli_collect_creates_missing_output_dir(tmp_path, capsys):
+    # Regression: a missing (nested) output directory used to crash the
+    # drive loop at save time; it must be created with parents instead.
+    out = os.path.join(tmp_path, "deep", "nested", "collected")
+    code = main(["collect", "--drives", "1", "--segment-seconds", "2",
+                 "--output", out])
+    assert code == 0
+    assert os.path.exists(os.path.join(out, "drive_00.npz"))
+    assert "readings" in capsys.readouterr().out
+
+
 def test_cli_train_and_evaluate(tmp_path, capsys):
     model_dir = os.path.join(tmp_path, "model")
     code = main(["train", "--architecture", "cnn", "--samples", "60",
@@ -51,6 +62,22 @@ def test_cli_reproduce_light_experiments(experiment, capsys):
 def test_cli_reproduce_table1(capsys):
     assert main(["reproduce", "table1", "--scale", "smoke"]) == 0
     assert "Normal Driving" in capsys.readouterr().out
+
+
+def test_cli_serve_requires_replay_flag(capsys):
+    assert main(["serve"]) == 2
+    assert "--replay" in capsys.readouterr().out
+
+
+def test_cli_serve_replay(capsys):
+    code = main(["serve", "--replay", "--drivers", "2", "--duration", "4",
+                 "--kill-camera", "1", "--train-samples", "60",
+                 "--train-epochs", "1", "--seed", "2"])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Serving replay" in captured
+    assert "camera killed mid-replay" in captured
+    assert "One verdict per grid instant per driver: yes" in captured
 
 
 def test_cli_chaos(capsys):

@@ -1,0 +1,55 @@
+"""Smoke tests for the examples/ scripts.
+
+Each example is imported from the repository's ``examples/`` directory
+and its ``main()`` run with tiny argv overrides (one drive, one epoch,
+a handful of samples) so the scripts cannot silently rot as the library
+evolves.  The overrides are calibrated to keep each script to a few
+seconds; these tests assert "runs to completion", not model quality.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+#: script name -> tiny argv making it finish in a few seconds.
+EXAMPLE_ARGS = {
+    "quickstart.py": ["--samples", "40", "--epochs", "1"],
+    "realtime_inference.py": ["--drives", "1", "--epochs", "1"],
+    "fleet_monitoring.py": ["--drivers", "1", "--epochs", "1"],
+    # samples-per-class must leave the eval split non-empty.
+    "privacy_tradeoff.py": ["--samples-per-class", "3", "--epochs", "1",
+                            "--distill-epochs", "1"],
+    "streaming_collection.py": ["--segment-seconds", "1"],
+    "serving_replay.py": ["--drivers", "2", "--duration", "5",
+                          "--samples", "60", "--epochs", "1"],
+}
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"examples_smoke_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_has_smoke_args():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert scripts == sorted(EXAMPLE_ARGS)
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLE_ARGS))
+def test_example_runs(script, monkeypatch, capsys):
+    module = load_example(script)
+    assert hasattr(module, "main"), f"{script} has no main()"
+    monkeypatch.setattr(sys, "argv", [script, *EXAMPLE_ARGS[script]])
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

@@ -1,0 +1,19 @@
+"""Serving-suite fixtures: one small trained ensemble for all tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+
+
+@pytest.fixture(scope="package")
+def serving_ensemble(tiny_driving_dataset):
+    """A trained cnn+rnn ensemble cheap enough to share across tests."""
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1),
+        rng=np.random.default_rng(7))
+    ensemble.fit(tiny_driving_dataset)
+    return ensemble

@@ -1,0 +1,58 @@
+"""Admission control: session caps and priority-aware backpressure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    AdmissionController,
+    AdmissionDecision,
+    InferenceRequest,
+    MicroBatchScheduler,
+)
+
+
+def queued_request(priority, sequence):
+    return InferenceRequest(
+        session_id="s", sequence=sequence, submitted_at=0.0, deadline=10.0,
+        priority=priority, model_key="base", window=np.zeros((4, 12)))
+
+
+def test_session_cap():
+    controller = AdmissionController(max_sessions=2)
+    assert controller.admit_session(1) is AdmissionDecision.ADMIT
+    assert (controller.admit_session(2)
+            is AdmissionDecision.REJECT_SESSIONS_FULL)
+    assert controller.stats.sessions_admitted == 1
+    assert controller.stats.sessions_rejected == 1
+
+
+def test_requests_admitted_below_watermark():
+    controller = AdmissionController(high_watermark=0.5)
+    scheduler = MicroBatchScheduler(max_batch=32, max_delay=10.0, capacity=10)
+    scheduler.submit(queued_request(5.0, 0), 0.0)
+    assert (controller.admit_request(0.0, scheduler)
+            is AdmissionDecision.ADMIT)
+
+
+def test_above_watermark_only_beating_lowest_enters():
+    controller = AdmissionController(high_watermark=0.5)
+    scheduler = MicroBatchScheduler(max_batch=32, max_delay=10.0, capacity=4)
+    scheduler.submit(queued_request(1.0, 0), 0.0)
+    scheduler.submit(queued_request(3.0, 1), 0.0)
+    # Depth 2 >= 0.5 * 4: a request must now beat the lowest queued.
+    assert (controller.admit_request(1.0, scheduler)
+            is AdmissionDecision.REJECT_QUEUE_FULL)
+    assert (controller.admit_request(2.0, scheduler)
+            is AdmissionDecision.ADMIT)
+    assert controller.stats.requests_rejected == 1
+    assert controller.stats.requests_admitted == 1
+
+
+def test_invalid_configuration_raises():
+    with pytest.raises(ConfigurationError):
+        AdmissionController(max_sessions=0)
+    with pytest.raises(ConfigurationError):
+        AdmissionController(high_watermark=0.0)
+    with pytest.raises(ConfigurationError):
+        AdmissionController(high_watermark=1.5)

@@ -1,0 +1,123 @@
+"""Model registry: lazy loading, ladder routing, hot swap."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServingError
+from repro.serving import ServingModelRegistry
+
+
+class FakeModel:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+def test_register_requires_exactly_one_source():
+    registry = ServingModelRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.register("a")
+    with pytest.raises(ConfigurationError):
+        registry.register("a", FakeModel("a"), loader=lambda: FakeModel("a"))
+
+
+def test_register_twice_raises():
+    registry = ServingModelRegistry()
+    registry.register("a", FakeModel("a"))
+    with pytest.raises(ConfigurationError):
+        registry.register("a", FakeModel("a2"))
+
+
+def test_first_registered_is_default():
+    registry = ServingModelRegistry()
+    registry.register("full", FakeModel("full"))
+    registry.register("lite", FakeModel("lite"))
+    assert registry.default == "full"
+    assert registry.route(None) == "full"
+
+
+def test_lazy_loader_loads_once_and_counts():
+    loads = []
+    registry = ServingModelRegistry()
+    registry.register("lazy",
+                      loader=lambda: loads.append(1) or FakeModel("lazy"))
+    record = registry.record("lazy")
+    assert not record.loaded
+    first = registry.get("lazy")
+    second = registry.get("lazy")
+    assert first is second
+    assert loads == [1]
+    assert (record.loads, record.hits) == (1, 2)
+
+
+def test_warm_forces_all_loads():
+    registry = ServingModelRegistry()
+    registry.register("a", loader=lambda: FakeModel("a"))
+    registry.register("b", loader=lambda: FakeModel("b"))
+    registry.warm()
+    assert registry.record("a").loaded and registry.record("b").loaded
+
+
+def test_get_unknown_raises():
+    with pytest.raises(ServingError):
+        ServingModelRegistry().get("nope")
+
+
+def test_route_walks_ladder_down():
+    registry = ServingModelRegistry()
+    registry.register("full", FakeModel("full"))
+    registry.register("med", FakeModel("med"))
+    registry.bind(None, "full")
+    registry.bind("medium", "med")
+    assert registry.route("medium") == "med"
+    # No "high" variant: fall back down the ladder to the nearest one.
+    assert registry.route("high") == "med"
+    # No "low" variant either: keep walking to the undistorted rung.
+    assert registry.route("low") == "full"
+
+
+def test_route_falls_back_to_default_without_routes():
+    registry = ServingModelRegistry()
+    registry.register("only", FakeModel("only"))
+    assert registry.route("high") == "only"
+
+
+def test_route_unknown_level_raises():
+    registry = ServingModelRegistry()
+    registry.register("a", FakeModel("a"))
+    with pytest.raises(ConfigurationError):
+        registry.route("extreme")
+    with pytest.raises(ConfigurationError):
+        registry.bind("extreme", "a")
+
+
+def test_empty_registry_route_raises():
+    with pytest.raises(ServingError):
+        ServingModelRegistry().route(None)
+
+
+def test_swap_bumps_generation_keeps_old_reference():
+    registry = ServingModelRegistry()
+    old = FakeModel("v1")
+    registry.register("base", old)
+    held = registry.get("base")  # a dispatched batch holds this reference
+    generation = registry.swap("base", FakeModel("v2"))
+    assert generation == 2
+    assert registry.swaps == 1
+    assert held is old
+    assert registry.get("base").tag == "v2"
+    with pytest.raises(ServingError):
+        registry.swap("nope", FakeModel("x"))
+    with pytest.raises(ConfigurationError):
+        registry.swap("base", None)
+
+
+def test_register_store_roundtrip(serving_ensemble, tmp_path):
+    from repro.core.model_store import save_ensemble
+
+    directory = str(tmp_path / "variant")
+    save_ensemble(serving_ensemble, directory)
+    registry = ServingModelRegistry()
+    registry.register_store("stored", directory)
+    assert not registry.record("stored").loaded
+    model = registry.get("stored")
+    assert hasattr(model, "predict_degraded")
+    assert registry.record("stored").loads == 1

@@ -1,0 +1,35 @@
+"""Concurrent replay: full coverage, degraded verdicts after camera kill."""
+
+from repro.serving import replay_concurrent_drives
+
+
+def test_replay_delivers_one_verdict_per_instant_per_driver(
+        serving_ensemble):
+    report = replay_concurrent_drives(
+        serving_ensemble, drivers=3, duration=4.0, kill_camera=1, seed=3)
+    assert report.instants == 16
+    assert report.verdicts == report.drivers * report.instants
+    assert all(count == report.instants
+               for count in report.verdicts_per_session.values())
+    assert report.rejected == 0 and report.unservable == 0
+
+    # The killed driver keeps getting verdicts — degraded, not silent.
+    (killed,) = report.killed_sessions
+    assert report.verdicts_per_session[killed] == report.instants
+    assert report.degraded_per_session[killed] > 0
+    # Survivors never degrade: their camera stream stays live throughout.
+    for sid, count in report.degraded_per_session.items():
+        if sid != killed:
+            assert count == 0
+
+    assert report.throughput_rps > 0
+    assert report.mean_batch_size > 1.0
+
+
+def test_replay_report_text(serving_ensemble):
+    report = replay_concurrent_drives(
+        serving_ensemble, drivers=2, duration=2.0, kill_camera=1, seed=0)
+    text = report.format_report()
+    assert "2 concurrent drivers" in text
+    assert "camera killed mid-replay" in text
+    assert report.killed_sessions[0] in text

@@ -1,0 +1,124 @@
+"""Micro-batch scheduler: flush triggers, grouping, priority shedding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    MODALITY_BOTH,
+    MODALITY_FRAMES,
+    MODALITY_IMU,
+    InferenceRequest,
+    MicroBatchScheduler,
+)
+
+_COUNTER = iter(range(10_000))
+
+
+def make_request(priority=0.0, *, session_id="s0", model_key="base",
+                 now=0.0, deadline=None, window=True, frame=True):
+    return InferenceRequest(
+        session_id=session_id,
+        sequence=next(_COUNTER),
+        submitted_at=now,
+        deadline=now + 0.025 if deadline is None else deadline,
+        priority=priority,
+        model_key=model_key,
+        window=np.zeros((4, 12)) if window else None,
+        frame=np.zeros((1, 8, 8)) if frame else None,
+    )
+
+
+def test_modality_property():
+    assert make_request().modality == MODALITY_BOTH
+    assert make_request(frame=False).modality == MODALITY_IMU
+    assert make_request(window=False).modality == MODALITY_FRAMES
+    with pytest.raises(ConfigurationError):
+        _ = make_request(window=False, frame=False).modality
+
+
+def test_flush_on_batch_size():
+    scheduler = MicroBatchScheduler(max_batch=2, max_delay=10.0)
+    scheduler.submit(make_request(), 0.0)
+    assert not scheduler.due(0.0)
+    scheduler.submit(make_request(), 0.0)
+    assert scheduler.due(0.0)
+    (batch,) = scheduler.flush(0.0)
+    assert len(batch) == 2
+    assert scheduler.depth == 0
+
+
+def test_flush_on_deadline():
+    scheduler = MicroBatchScheduler(max_batch=32, max_delay=0.025)
+    scheduler.submit(make_request(now=0.0), 0.0)
+    assert not scheduler.due(0.01)
+    assert scheduler.flush(0.01) == []
+    assert scheduler.due(0.03)
+    (batch,) = scheduler.flush(0.03)
+    assert len(batch) == 1
+
+
+def test_groups_do_not_mix():
+    scheduler = MicroBatchScheduler(max_batch=8, max_delay=0.0)
+    scheduler.submit(make_request(model_key="a"), 0.0)
+    scheduler.submit(make_request(model_key="a", frame=False), 0.0)
+    scheduler.submit(make_request(model_key="b"), 0.0)
+    batches = scheduler.flush(1.0)
+    groups = sorted((b.model_key, b.modality) for b in batches)
+    assert groups == [("a", MODALITY_BOTH), ("a", MODALITY_IMU),
+                      ("b", MODALITY_BOTH)]
+
+
+def test_priority_dispatch_order():
+    scheduler = MicroBatchScheduler(max_batch=2, max_delay=0.0)
+    low = make_request(0.0)
+    mid = make_request(1.0)
+    high = make_request(2.0)
+    for request in (low, mid, high):
+        scheduler.submit(request, 0.0)
+    first, second = scheduler.flush(1.0)
+    # Alert-adjacent (high-priority) sessions ride in the first batch.
+    assert [r.priority for r in first.requests] == [2.0, 1.0]
+    assert [r.priority for r in second.requests] == [0.0]
+
+
+def test_capacity_sheds_lowest_priority():
+    scheduler = MicroBatchScheduler(max_batch=32, max_delay=10.0, capacity=2)
+    victim = make_request(0.0, session_id="cold")
+    scheduler.submit(victim, 0.0)
+    scheduler.submit(make_request(1.0), 0.0)
+    assert scheduler.submit(make_request(2.0, session_id="hot"), 0.0)
+    assert scheduler.depth == 2
+    assert scheduler.stats.shed == 1
+    queued = [r for b in scheduler.flush(0.0, force=True)
+              for r in b.requests]
+    assert victim not in queued
+
+
+def test_capacity_rejects_incoming_lowest():
+    scheduler = MicroBatchScheduler(max_batch=32, max_delay=10.0, capacity=2)
+    scheduler.submit(make_request(1.0), 0.0)
+    scheduler.submit(make_request(1.0), 0.0)
+    assert not scheduler.submit(make_request(1.0), 0.0)
+    assert scheduler.stats.rejected == 1
+    assert scheduler.stats.shed == 0
+
+
+def test_stats_track_batching():
+    scheduler = MicroBatchScheduler(max_batch=2, max_delay=0.0)
+    for _ in range(3):
+        scheduler.submit(make_request(), 0.0)
+    scheduler.flush(1.0)
+    stats = scheduler.stats
+    assert (stats.submitted, stats.dispatched, stats.batches) == (3, 3, 2)
+    assert stats.max_batch_size == 2
+    assert stats.mean_batch_size == pytest.approx(1.5)
+
+
+def test_invalid_configuration_raises():
+    with pytest.raises(ConfigurationError):
+        MicroBatchScheduler(max_batch=0)
+    with pytest.raises(ConfigurationError):
+        MicroBatchScheduler(capacity=0)
+    with pytest.raises(ConfigurationError):
+        MicroBatchScheduler(max_delay=-1.0)

@@ -1,0 +1,95 @@
+"""Per-driver session state: ring buffer, liveness, scheduling signals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    ALERT_ADJACENT_BOOST,
+    DEGRADED_BOOST,
+    DriverSession,
+    StreamState,
+)
+
+
+def make_session(**kwargs):
+    kwargs.setdefault("session_id", "s0")
+    kwargs.setdefault("driver_id", 0)
+    kwargs.setdefault("window_steps", 4)
+    return DriverSession(**kwargs)
+
+
+def sample(value):
+    return np.full(12, float(value))
+
+
+def test_window_is_none_before_any_sample():
+    assert make_session().window() is None
+
+
+def test_window_pads_until_ring_fills():
+    session = make_session()
+    session.ingest_imu(0.0, sample(1))
+    session.ingest_imu(0.25, sample(2))
+    window = session.window()
+    assert window.shape == (4, 12)
+    # Front-padded with the oldest sample, chronological after.
+    np.testing.assert_array_equal(window[:, 0], [1, 1, 1, 2])
+
+
+def test_window_is_chronological_after_wrap():
+    session = make_session()
+    for step in range(7):
+        session.ingest_imu(0.25 * step, sample(step))
+    np.testing.assert_array_equal(session.window()[:, 0], [3, 4, 5, 6])
+
+
+def test_bad_imu_shape_raises():
+    with pytest.raises(ConfigurationError):
+        make_session().ingest_imu(0.0, np.zeros(7))
+
+
+def test_bad_frame_shape_raises():
+    with pytest.raises(ConfigurationError):
+        make_session().ingest_frame(0.0, np.zeros((2, 2, 2, 2)))
+
+
+def test_frame_hw_promoted_to_chw():
+    session = make_session()
+    session.ingest_frame(0.0, np.zeros((8, 8)))
+    assert session.latest_frame().shape == (1, 8, 8)
+
+
+def test_stream_states_track_staleness():
+    session = make_session(imu_stale_after=1.0, frame_stale_after=0.5)
+    assert session.imu_state(0.0) is StreamState.DEAD
+    session.ingest_imu(0.0, sample(0))
+    session.ingest_frame(0.0, np.zeros((8, 8)))
+    assert session.imu_state(0.5) is StreamState.LIVE
+    assert session.frame_state(0.25) is StreamState.LIVE
+    assert session.frame_state(2.0) is StreamState.STALE
+    assert session.imu_state(2.0) is StreamState.STALE
+
+
+def test_priority_boosts_for_alert_adjacent_and_degraded():
+    session = make_session(base_priority=1.0)
+    assert session.priority(0.0) == 1.0
+    session.record_verdict(predicted=2, degraded=False)  # distraction class
+    assert session.priority(0.0) == 1.0 + ALERT_ADJACENT_BOOST
+    session.record_verdict(predicted=2, degraded=True)
+    assert session.priority(0.0) == pytest.approx(
+        1.0 + ALERT_ADJACENT_BOOST + DEGRADED_BOOST)
+    session.record_verdict(predicted=0, degraded=False)  # back to normal
+    assert session.priority(0.0) == 1.0
+
+
+def test_counters_accumulate():
+    session = make_session()
+    session.ingest_imu(0.0, sample(0))
+    session.ingest_frame(0.0, np.zeros((8, 8)))
+    session.next_sequence()
+    session.record_verdict(predicted=1, degraded=True)
+    counters = session.counters
+    assert (counters.imu_samples, counters.frames) == (1, 1)
+    assert (counters.requests, counters.verdicts,
+            counters.degraded_verdicts) == (1, 1, 1)
