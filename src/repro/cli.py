@@ -194,12 +194,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ensemble.fit(dataset)
     print(f"Replaying {args.drivers} concurrent scripted drives "
           f"({args.duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
-          f"deadline {args.deadline_ms:.0f} ms, "
+          f"deadline {args.deadline_ms:.0f} ms, {args.workers} worker(s), "
           f"{args.kill_camera} camera(s) killed mid-replay)...")
     report = replay_concurrent_drives(
         ensemble, drivers=args.drivers, duration=args.duration,
         max_batch=args.max_batch, max_delay=args.deadline_ms / 1e3,
-        kill_camera=args.kill_camera, seed=args.seed)
+        kill_camera=args.kill_camera, seed=args.seed, workers=args.workers)
     print()
     print(report.format_report())
     complete = all(count == report.instants
@@ -269,6 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch flush deadline in milliseconds")
     serve.add_argument("--kill-camera", type=int, default=2,
                        help="drivers whose camera stream dies mid-replay")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="processes executing flushed batches (1 runs "
+                            "in-process and is bit-exact with the default)")
     serve.add_argument("--train-samples", type=int, default=120)
     serve.add_argument("--train-epochs", type=int, default=1)
     serve.add_argument("--seed", type=int, default=0)

@@ -7,7 +7,7 @@ train the Inception-style CNN and bidirectional-LSTM RNN that DarNet's
 analytics engine is built from.
 """
 
-from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.base import Layer, Parameter, assert_float32
 from repro.nn.layers.dense import Dense
 from repro.nn.layers.conv import Conv2D
 from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
@@ -41,10 +41,13 @@ from repro.nn.metrics import (
     precision_recall_f1,
     top_k_accuracy,
 )
+from repro.nn.runtime import Workspace, fast_path_enabled, reference_mode
 from repro.nn.serialization import copy_weights, load_weights, save_weights
 
 __all__ = [
-    "Layer", "Parameter", "Dense", "Conv2D", "MaxPool2D", "AvgPool2D",
+    "Layer", "Parameter", "assert_float32", "Dense", "Conv2D", "MaxPool2D",
+    "AvgPool2D",
+    "Workspace", "fast_path_enabled", "reference_mode",
     "GlobalAvgPool2D", "ReLU", "LeakyReLU", "Sigmoid", "Tanh", "Softmax",
     "softmax", "log_softmax", "BatchNorm", "Dropout", "Flatten", "Reshape",
     "Sequential", "ParallelBranches", "Residual", "LSTM", "BidirectionalLSTM",

@@ -55,6 +55,15 @@ class BatchNorm(Layer):
                 f"{self.name}: expected {self.num_features} channels, got {x.shape}"
             )
         shape = self._shape_for(x)
+        if self._fast_inference():
+            # Fused normalize + affine: one multiply-add over the batch
+            # instead of materializing x_hat.  The per-channel factors are
+            # tiny, so folding them costs nothing per call.
+            scale = self.gamma.value / np.sqrt(self.running_var + self.eps)
+            shift = self.beta.value - self.running_mean * scale
+            out = x * scale.reshape(shape)
+            out += shift.reshape(shape)
+            return out
         if self.training:
             mean = x.mean(axis=axes)
             var = x.var(axis=axes)

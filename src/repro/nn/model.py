@@ -19,6 +19,7 @@ from repro.nn.layers.base import Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.optimizers import LearningRateSchedule, Optimizer
+from repro.nn.runtime.workspace import Workspace
 
 
 @dataclass
@@ -68,6 +69,7 @@ class NeuralNetwork:
         self.optimizer = optimizer_factory(list(network.parameters()))
         self.grad_clip = grad_clip
         self.history = TrainingHistory()
+        self.workspace = Workspace()
         self._fitted = False
 
     # -- training -----------------------------------------------------------
@@ -159,9 +161,15 @@ class NeuralNetwork:
     # -- inference ----------------------------------------------------------
     def forward_in_batches(self, x: np.ndarray,
                            batch_size: int = 128) -> np.ndarray:
-        """Run inference in memory-bounded batches, eval mode."""
+        """Run inference in memory-bounded batches, eval mode.
+
+        Eval-mode layers take the workspace fast path: scratch buffers are
+        reused across the chunks (every full chunk shares one arena entry;
+        a ragged tail gets its own), and no backward caches are built.
+        """
         x = np.asarray(x, dtype=np.float32)
         self.network.set_training(False)
+        self.network.set_workspace(self.workspace)
         chunks = [
             self.network.forward(x[start:start + batch_size])
             for start in range(0, x.shape[0], batch_size)

@@ -1,0 +1,6 @@
+"""Inference-time execution runtime: scratch arenas and path selection."""
+
+from repro.nn.runtime.mode import fast_path_enabled, reference_mode
+from repro.nn.runtime.workspace import Workspace
+
+__all__ = ["Workspace", "fast_path_enabled", "reference_mode"]

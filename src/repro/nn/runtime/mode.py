@@ -1,0 +1,34 @@
+"""Global switch for the inference fast path.
+
+Layers take the fast path when they are in eval mode (``set_training
+(False)``) *and* the fast path is globally enabled.  The global switch
+exists for exactly two callers: the parity tests and the benchmark
+harness, both of which need to run the reference (training-style)
+forward on an eval-mode model for comparison.  Everything else should
+leave it alone — the fast path is numerically interchangeable with the
+reference path (same GEMMs, same reductions, ordering differences only
+at float32 rounding level).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_FAST_PATH = True
+
+
+def fast_path_enabled() -> bool:
+    """Whether eval-mode layers may use workspace/in-place execution."""
+    return _FAST_PATH
+
+
+@contextmanager
+def reference_mode():
+    """Temporarily force the reference forward path (for parity/bench)."""
+    global _FAST_PATH
+    saved = _FAST_PATH
+    _FAST_PATH = False
+    try:
+        yield
+    finally:
+        _FAST_PATH = saved

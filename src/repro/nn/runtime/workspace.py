@@ -1,0 +1,87 @@
+"""Reusable scratch-buffer arena for the inference fast path.
+
+Training-mode forward passes allocate fresh arrays on every call — im2col
+column matrices, LSTM gate tensors, padded inputs — because each must
+survive until the matching backward pass.  Inference has no backward
+pass, so those arrays are pure scratch: a :class:`Workspace` keeps one
+buffer per ``(tag, shape, dtype)`` and hands the same memory back on
+every forward call with matching shapes.  For serving workloads, where
+thousands of same-shape batches flow through one model, this removes the
+allocator (and the page-faulting of fresh large mmap'd blocks) from the
+steady-state loop.
+
+Safety rules, enforced by convention in the layer implementations:
+
+* scratch buffers never escape a single ``forward`` call — anything
+  returned to the caller or cached for backward is freshly allocated;
+* a layer may not hold two live buffers under the same key, so tags are
+  prefixed with the layer name plus a role (``"conv3.cols"``);
+* the arena is single-threaded, like the forward pass itself.  Parallel
+  executors give each worker process its own workspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Keys are (tag, shape, dtype-str); values are the reusable buffers.
+_Key = tuple[str, tuple[int, ...], str]
+
+
+class Workspace:
+    """A per-model arena of reusable scratch arrays.
+
+    Buffers are keyed by ``(tag, shape, dtype)`` — a new shape under the
+    same tag allocates a new buffer rather than resizing, so mixed batch
+    sizes (full batches plus one ragged tail) coexist without churn.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[_Key, np.ndarray] = {}
+
+    def buffer(self, tag: str, shape: tuple[int, ...],
+               dtype: np.dtype | type = np.float32) -> np.ndarray:
+        """An uninitialized scratch array of the requested shape.
+
+        Contents are whatever the previous use left behind — callers must
+        overwrite every element they read.
+        """
+        dtype = np.dtype(dtype)
+        key = (tag, tuple(int(s) for s in shape), dtype.str)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(key[1], dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def zeros(self, tag: str, shape: tuple[int, ...],
+              dtype: np.dtype | type = np.float32) -> np.ndarray:
+        """A scratch array cleared to zero on every call."""
+        buf = self.buffer(tag, shape, dtype)
+        buf.fill(0)
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop every buffer (frees the memory to the allocator)."""
+        self._buffers.clear()
+
+    # Workspaces ride along on models that get pickled into worker
+    # processes; the buffers are pure scratch, so ship none of them.
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        del state
+        self._buffers = {}
+
+    def __repr__(self) -> str:
+        return (f"Workspace(buffers={len(self._buffers)}, "
+                f"nbytes={self.nbytes})")

@@ -14,6 +14,7 @@ from repro.serving.admission import (
     AdmissionDecision,
     AdmissionStats,
 )
+from repro.serving.executor import ParallelExecutor, default_worker_count
 from repro.serving.registry import ModelRecord, ServingModelRegistry
 from repro.serving.replay import (
     DriverTrace,
@@ -49,6 +50,7 @@ __all__ = [
     "ServingModelRegistry", "ModelRecord",
     "AdmissionController", "AdmissionDecision", "AdmissionStats",
     "InferenceServer", "ServerStats", "ServingVerdict",
+    "ParallelExecutor", "default_worker_count",
     "ReplayReport", "DriverTrace", "replay_concurrent_drives",
     "synthesize_trace",
 ]

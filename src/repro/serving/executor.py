@@ -1,0 +1,238 @@
+"""Process-pool execution of flushed micro-batches.
+
+NumPy releases the GIL inside BLAS kernels, but the serving forward pass
+is a long chain of *short* kernels stitched together with Python — layer
+dispatch, reshapes, activation ufuncs — so threads serialize on the GIL
+almost immediately.  Processes sidestep that: each worker owns a full
+interpreter and materializes the model once from a pickle parked in
+:mod:`multiprocessing.shared_memory`, and per-batch traffic moves through
+preallocated shared arrays (inputs written by the parent, probabilities
+written back by the workers), so nothing large crosses a pipe per batch.
+
+Sharding is deterministic: a flushed batch is split into contiguous
+slices in request order, and eval-mode layers have no cross-sample
+coupling, so a 4-worker verdict stream matches the single-worker one —
+predictions exactly, probabilities to BLAS rounding (GEMM blocking
+depends on the row count, so summation order shifts by ~1e-9 when the
+batch is sliced).  The parallel path changes wall-clock, never verdicts.
+
+Worker count is an explicit opt-in (``--workers N``); the default of 1
+bypasses this module entirely and is bit-exact with the in-process path
+because it *is* the in-process path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.core.ensemble import DegradedPrediction
+from repro.exceptions import ConfigurationError
+
+# -- worker-process state ----------------------------------------------------
+
+_WORKER_MODEL = None
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _silence_resource_tracker() -> None:
+    """Keep worker-side attachments out of the resource tracker.
+
+    Workers attach segments the parent owns and will unlink; without
+    this, each worker's resource tracker re-registers the segment and
+    then either double-unlinks it or warns about a leak at shutdown
+    (Python < 3.13 has no ``track=False``).
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:
+        if rtype == "shared_memory":
+            return
+        original(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _worker_init(model_block: str, model_size: int) -> None:
+    """Pool initializer: materialize the model once per worker."""
+    global _WORKER_MODEL
+    _silence_resource_tracker()
+    segment = shared_memory.SharedMemory(name=model_block)
+    try:
+        _WORKER_MODEL = pickle.loads(bytes(segment.buf[:model_size]))
+    finally:
+        segment.close()
+
+
+def _attached(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = segment
+    return segment
+
+
+def _view(spec: tuple[str, tuple[int, ...], str] | None) -> np.ndarray | None:
+    """An ndarray over a shared block described by (name, shape, dtype)."""
+    if spec is None:
+        return None
+    name, shape, dtype = spec
+    return np.ndarray(shape, dtype=dtype, buffer=_attached(name).buf)
+
+
+def _worker_run(task: dict) -> tuple[int, int, bool, tuple[str, ...]]:
+    """Classify one contiguous shard; write probabilities into the output."""
+    lo, hi = task["lo"], task["hi"]
+    images = _view(task["images"])
+    imu = _view(task["imu"])
+    kwargs = {}
+    if images is not None:
+        kwargs["images"] = images[lo:hi]
+    if imu is not None:
+        kwargs["imu"] = imu[lo:hi]
+    result = _WORKER_MODEL.predict_degraded(**kwargs)
+    out = _view(task["out"])
+    out[lo:hi] = result.probabilities
+    return lo, hi, result.degraded, tuple(result.missing)
+
+
+# -- parent-side executor ----------------------------------------------------
+
+class ParallelExecutor:
+    """Shard ``predict_degraded`` batches across a process pool.
+
+    Args:
+        model: a trained ensemble (anything with ``predict_degraded``).
+            Must be picklable — weights ship to workers exactly once.
+        workers: process count; 1 short-circuits to in-process execution.
+
+    The executor presents the model's own ``predict_degraded`` surface,
+    so :class:`~repro.serving.server.InferenceServer` can treat it as a
+    drop-in model.  Call :meth:`close` (or use as a context manager) to
+    release the pool and the shared segments.
+    """
+
+    def __init__(self, model, *, workers: int = 1) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.model = model
+        self.workers = int(workers)
+        self._pool = None
+        self._model_block: shared_memory.SharedMemory | None = None
+        self._blocks: dict[str, shared_memory.SharedMemory] = {}
+        self._out_spec: tuple[int, str] | None = None  # (classes, dtype)
+        if self.workers > 1:
+            payload = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            self._model_block = shared_memory.SharedMemory(
+                create=True, size=len(payload))
+            self._model_block.buf[:len(payload)] = payload
+            context = get_context("fork")
+            self._pool = context.Pool(
+                self.workers, initializer=_worker_init,
+                initargs=(self._model_block.name, len(payload)))
+
+    # -- shared-array plumbing -------------------------------------------
+    def _block(self, tag: str, nbytes: int) -> shared_memory.SharedMemory:
+        """A grow-only shared block for ``tag`` with at least ``nbytes``."""
+        segment = self._blocks.get(tag)
+        if segment is not None and segment.size >= nbytes:
+            return segment
+        if segment is not None:
+            segment.close()
+            segment.unlink()
+        segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._blocks[tag] = segment
+        return segment
+
+    def _share(self, tag: str, array: np.ndarray
+               ) -> tuple[str, tuple[int, ...], str]:
+        """Copy ``array`` into the tag's shared block; return its spec."""
+        array = np.ascontiguousarray(array)
+        segment = self._block(tag, array.nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        return segment.name, array.shape, array.dtype.str
+
+    def _probe_output(self, images, imu) -> tuple[int, str]:
+        """Class count / dtype of the probability matrix (cached)."""
+        if self._out_spec is None:
+            probe = self.model.predict_degraded(
+                images=None if images is None else images[:1],
+                imu=None if imu is None else imu[:1])
+            self._out_spec = (int(probe.probabilities.shape[1]),
+                              probe.probabilities.dtype.str)
+        return self._out_spec
+
+    # -- inference -------------------------------------------------------
+    def predict_degraded(self, *, images: np.ndarray | None = None,
+                         imu: np.ndarray | None = None) -> DegradedPrediction:
+        """Model-compatible verdict batch, sharded across the pool."""
+        if self._pool is None:
+            return self.model.predict_degraded(images=images, imu=imu)
+        count = len(images if images is not None else imu)
+        shards = min(self.workers, count)
+        if shards < 2:
+            return self.model.predict_degraded(images=images, imu=imu)
+        classes, out_dtype = self._probe_output(images, imu)
+        image_spec = (None if images is None
+                      else self._share("images", np.asarray(images)))
+        imu_spec = None if imu is None else self._share("imu", np.asarray(imu))
+        out_segment = self._block(
+            "out", count * classes * np.dtype(out_dtype).itemsize)
+        out_spec = (out_segment.name, (count, classes), out_dtype)
+        bounds = np.linspace(0, count, shards + 1).astype(int)
+        tasks = [
+            {"lo": int(lo), "hi": int(hi), "images": image_spec,
+             "imu": imu_spec, "out": out_spec}
+            for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        metas = self._pool.map(_worker_run, tasks)
+        probabilities = np.ndarray((count, classes), dtype=out_dtype,
+                                   buffer=out_segment.buf).copy()
+        degraded = metas[0][2]
+        missing = metas[0][3]
+        return DegradedPrediction(
+            probabilities=probabilities,
+            predictions=probabilities.argmax(axis=1),
+            confidence=probabilities.max(axis=1),
+            degraded=degraded,
+            missing=missing,
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the pool and release every shared segment."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        for segment in self._blocks.values():
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # already gone (interpreter teardown)
+                pass
+        self._blocks.clear()
+        if self._model_block is not None:
+            self._model_block.close()
+            try:
+                self._model_block.unlink()
+            except FileNotFoundError:
+                pass
+            self._model_block = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def default_worker_count() -> int:
+    """A sensible ``--workers`` default for this machine (min 1)."""
+    return max(1, (os.cpu_count() or 1) - 1)

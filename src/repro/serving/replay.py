@@ -89,6 +89,7 @@ class ReplayReport:
     drivers: int
     duration: float
     grid_period: float
+    workers: int
     instants: int
     requests: int
     verdicts: int
@@ -112,7 +113,8 @@ class ReplayReport:
         lines = [
             f"Serving replay — {self.drivers} concurrent drivers, "
             f"{self.duration:.0f} s at {1 / self.grid_period:.0f} Hz "
-            f"({self.instants} grid instants)",
+            f"({self.instants} grid instants, {self.workers} "
+            f"worker{'s' if self.workers != 1 else ''})",
             f"  requests   {self.requests}   verdicts {self.verdicts}   "
             f"degraded {self.degraded_verdicts}   rejected {self.rejected}"
             f"   shed {self.shed}",
@@ -153,8 +155,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
                              kill_at_fraction: float = 0.5,
                              frame_stale_after: float = 1.0,
                              seed: int = 0,
-                             script: DriveScript | None = None
-                             ) -> ReplayReport:
+                             script: DriveScript | None = None,
+                             workers: int = 1) -> ReplayReport:
     """Replay ``drivers`` concurrent scripted drives through a server.
 
     Args:
@@ -174,6 +176,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
             stream is treated as missing.
         seed: randomness seed for the synthetic drives.
         script: drive script; a standard all-behaviours script by default.
+        workers: execution processes for flushed batches (1 = in-process,
+            bit-exact with the pre-executor replay).
     """
     if drivers < 1 or duration <= 0:
         raise ConfigurationError("need drivers >= 1 and duration > 0")
@@ -199,7 +203,9 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         max_batch=drivers if max_batch is None else max_batch,
         max_delay=max_delay,
         queue_capacity=(4 * drivers if queue_capacity is None
-                        else queue_capacity))
+                        else queue_capacity),
+        workers=workers)
+    server.warm_executors()
     session_ids = [server.open_session(trace.driver_id)
                    for trace in traces]
     for sid in session_ids:
@@ -237,6 +243,7 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         absorb(server.step(now + max_delay))
     absorb(server.drain(duration))
     wall_seconds = time.perf_counter() - wall_start
+    server.close()
 
     per_session: dict[str, int] = {sid: 0 for sid in session_ids}
     degraded_per: dict[str, int] = {sid: 0 for sid in session_ids}
@@ -250,6 +257,7 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         drivers=drivers,
         duration=float(duration),
         grid_period=float(grid_period),
+        workers=int(workers),
         instants=len(instants),
         requests=stats.requests,
         verdicts=stats.verdicts,

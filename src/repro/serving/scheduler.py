@@ -20,6 +20,7 @@ here).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -105,6 +106,12 @@ class MicroBatchScheduler:
         capacity: total queued requests across all groups; beyond this the
             lowest-priority queued request is shed (or the incoming one is
             rejected if it *is* the lowest).
+
+    Thread safety: queue and counter mutations are guarded by an internal
+    lock, and :meth:`flush` *pops* due batches while holding it — the
+    (slow) forward pass over a flushed batch happens after flush returns,
+    with the lock released, so concurrent sessions can keep enqueueing
+    while a batch executes.
     """
 
     def __init__(self, *, max_batch: int = 32, max_delay: float = 0.025,
@@ -118,21 +125,25 @@ class MicroBatchScheduler:
         self.capacity = int(capacity)
         self.stats = SchedulerStats()
         self._queues: dict[tuple[str, str], list[InferenceRequest]] = {}
+        # RLock so public methods can share the locked helpers below.
+        self._lock = threading.RLock()
 
     # -- queue state -----------------------------------------------------
     @property
     def depth(self) -> int:
         """Total queued requests across all groups."""
-        return sum(len(queue) for queue in self._queues.values())
+        with self._lock:
+            return sum(len(queue) for queue in self._queues.values())
 
     def lowest_priority(self) -> float | None:
         """Priority of the most sheddable queued request."""
-        lowest: float | None = None
-        for queue in self._queues.values():
-            for request in queue:
-                if lowest is None or request.priority < lowest:
-                    lowest = request.priority
-        return lowest
+        with self._lock:
+            lowest: float | None = None
+            for queue in self._queues.values():
+                for request in queue:
+                    if lowest is None or request.priority < lowest:
+                        lowest = request.priority
+            return lowest
 
     # -- submission ------------------------------------------------------
     def submit(self, request: InferenceRequest, now: float) -> bool:
@@ -144,31 +155,33 @@ class MicroBatchScheduler:
         pointless churn).
         """
         del now
-        if self.depth >= self.capacity:
-            lowest = self.lowest_priority()
-            if lowest is not None and request.priority <= lowest:
-                self.stats.rejected += 1
-                return False
-            self._shed_lowest()
-        self._queues.setdefault(request.group, []).append(request)
-        self.stats.submitted += 1
-        self.stats.depth_peak = max(self.stats.depth_peak, self.depth)
-        return True
+        with self._lock:
+            if self.depth >= self.capacity:
+                lowest = self.lowest_priority()
+                if lowest is not None and request.priority <= lowest:
+                    self.stats.rejected += 1
+                    return False
+                self._shed_lowest()
+            self._queues.setdefault(request.group, []).append(request)
+            self.stats.submitted += 1
+            self.stats.depth_peak = max(self.stats.depth_peak, self.depth)
+            return True
 
     def _shed_lowest(self) -> None:
-        victim_group: tuple[str, str] | None = None
-        victim_index = -1
-        victim_priority = np.inf
-        for group, queue in self._queues.items():
-            for index, request in enumerate(queue):
-                # Strict < keeps the earliest submission among equals,
-                # so the oldest of the lowest class is shed first.
-                if request.priority < victim_priority:
-                    victim_group, victim_index = group, index
-                    victim_priority = request.priority
-        if victim_group is not None:
-            self._queues[victim_group].pop(victim_index)
-            self.stats.shed += 1
+        with self._lock:
+            victim_group: tuple[str, str] | None = None
+            victim_index = -1
+            victim_priority = np.inf
+            for group, queue in self._queues.items():
+                for index, request in enumerate(queue):
+                    # Strict < keeps the earliest submission among equals,
+                    # so the oldest of the lowest class is shed first.
+                    if request.priority < victim_priority:
+                        victim_group, victim_index = group, index
+                        victim_priority = request.priority
+            if victim_group is not None:
+                self._queues[victim_group].pop(victim_index)
+                self.stats.shed += 1
 
     # -- flushing --------------------------------------------------------
     def _group_due(self, queue: list[InferenceRequest], now: float) -> bool:
@@ -178,8 +191,9 @@ class MicroBatchScheduler:
 
     def due(self, now: float) -> bool:
         """Whether any group would flush at ``now``."""
-        return any(self._group_due(queue, now)
-                   for queue in self._queues.values())
+        with self._lock:
+            return any(self._group_due(queue, now)
+                       for queue in self._queues.values())
 
     def flush(self, now: float, *, force: bool = False) -> list[MicroBatch]:
         """Pop every due group (all groups when ``force``) as batches.
@@ -188,22 +202,28 @@ class MicroBatchScheduler:
         for equal priorities, preserving submission order), so when a
         group spans multiple batches the alert-adjacent sessions ride in
         the first one.
+
+        The lock is held only while due batches are popped off the
+        queues; the caller runs the forward pass on the returned batches
+        with the queues unlocked, so enqueues from other threads are
+        never blocked behind model execution.
         """
         batches: list[MicroBatch] = []
-        for group in list(self._queues):
-            queue = self._queues[group]
-            while queue and (force or self._group_due(queue, now)):
-                queue.sort(key=lambda r: -r.priority)
-                take, rest = queue[:self.max_batch], queue[self.max_batch:]
-                self._queues[group] = queue = rest
-                batch = MicroBatch(model_key=group[0], modality=group[1],
-                                   requests=take, flushed_at=now)
-                batches.append(batch)
-                self.stats.batches += 1
-                self.stats.dispatched += len(take)
-                self.stats.batch_size_sum += len(take)
-                self.stats.max_batch_size = max(self.stats.max_batch_size,
-                                                len(take))
-            if not queue:
-                del self._queues[group]
+        with self._lock:
+            for group in list(self._queues):
+                queue = self._queues[group]
+                while queue and (force or self._group_due(queue, now)):
+                    queue.sort(key=lambda r: -r.priority)
+                    take, rest = queue[:self.max_batch], queue[self.max_batch:]
+                    self._queues[group] = queue = rest
+                    batch = MicroBatch(model_key=group[0], modality=group[1],
+                                       requests=take, flushed_at=now)
+                    batches.append(batch)
+                    self.stats.batches += 1
+                    self.stats.dispatched += len(take)
+                    self.stats.batch_size_sum += len(take)
+                    self.stats.max_batch_size = max(self.stats.max_batch_size,
+                                                    len(take))
+                if not queue:
+                    del self._queues[group]
         return batches

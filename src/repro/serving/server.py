@@ -26,6 +26,7 @@ import numpy as np
 from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
 from repro.exceptions import ServingError
 from repro.serving.admission import AdmissionController, AdmissionDecision
+from repro.serving.executor import ParallelExecutor
 from repro.serving.registry import ServingModelRegistry
 from repro.serving.scheduler import (
     MODALITY_BOTH,
@@ -89,22 +90,31 @@ class InferenceServer:
             sheds lowest-priority work).
         admission: overload gatekeeper; built with defaults when omitted.
         window_steps: IMU window length for new sessions.
+        workers: processes per model variant for batch execution.  The
+            default of 1 runs in-process (bit-exact with the pre-executor
+            server); N > 1 shards each flushed batch across a
+            :class:`~repro.serving.executor.ParallelExecutor` pool.
+            Executors snapshot a variant's weights when first used, so a
+            hot-swapped model only takes effect after :meth:`close`.
     """
 
     def __init__(self, registry: ServingModelRegistry, *,
                  max_batch: int = 32, max_delay: float = 0.025,
                  queue_capacity: int = 256,
                  admission: AdmissionController | None = None,
-                 window_steps: int = DEFAULT_WINDOW_STEPS) -> None:
+                 window_steps: int = DEFAULT_WINDOW_STEPS,
+                 workers: int = 1) -> None:
         self.registry = registry
         self.scheduler = MicroBatchScheduler(max_batch=max_batch,
                                              max_delay=max_delay,
                                              capacity=queue_capacity)
         self.admission = admission or AdmissionController()
         self.window_steps = int(window_steps)
+        self.workers = int(workers)
         self.stats = ServerStats()
         self._sessions: dict[str, DriverSession] = {}
         self._outboxes: dict[str, list[ServingVerdict]] = {}
+        self._executors: dict[str, ParallelExecutor] = {}
 
     @classmethod
     def for_model(cls, model, **options) -> "InferenceServer":
@@ -215,9 +225,37 @@ class InferenceServer:
         self._outboxes[session_id] = []
         return outbox
 
+    def warm_executors(self) -> None:
+        """Pre-spawn the worker pools for every registered variant.
+
+        Optional: executors are otherwise created lazily on a variant's
+        first dispatch, which puts the pool fork + weight pickling inside
+        the first request's latency.
+        """
+        if self.workers > 1:
+            for name in self.registry.names:
+                self._model_for(name)
+
+    def close(self) -> None:
+        """Release any parallel-executor pools and shared memory."""
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def _model_for(self, model_key: str):
+        """The execution target for a batch: the model, or its executor."""
+        if self.workers <= 1:
+            return self.registry.get(model_key)
+        executor = self._executors.get(model_key)
+        if executor is None:
+            executor = ParallelExecutor(self.registry.get(model_key),
+                                        workers=self.workers)
+            self._executors[model_key] = executor
+        return executor
+
     def _dispatch(self, batch: MicroBatch, now: float
                   ) -> list[ServingVerdict]:
-        model = self.registry.get(batch.model_key)
+        model = self._model_for(batch.model_key)
         generation = self.registry.record(batch.model_key).generation
         if batch.modality == MODALITY_BOTH:
             result = model.predict_degraded(

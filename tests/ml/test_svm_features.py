@@ -196,8 +196,10 @@ def test_scaler_standardizes(rng):
     features = rng.normal(5.0, 3.0, size=(100, 7))
     scaler = FeatureScaler()
     scaled = scaler.fit_transform(features)
-    np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
-    np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+    # The scaler computes in float32 end-to-end, so standardization is
+    # exact to single precision, not double.
+    np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-5)
+    np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-5)
 
 
 def test_scaler_transform_consistent(rng):
@@ -206,7 +208,7 @@ def test_scaler_transform_consistent(rng):
     scaler = FeatureScaler().fit(train)
     np.testing.assert_allclose(scaler.transform(test),
                                (test - train.mean(0)) / train.std(0),
-                               rtol=1e-9)
+                               rtol=1e-5)
 
 
 def test_scaler_requires_fit(rng):

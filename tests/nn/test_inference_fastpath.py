@@ -1,0 +1,169 @@
+"""Inference fast path: parity with the reference forward, workspace reuse.
+
+Every layer with a ``_forward_inference`` branch must produce the same
+output (atol 1e-5) as the reference path — the training-style forward
+that ``repro.nn.reference_mode`` forces — on eval-mode layers, and the
+workspace arena must actually reuse its scratch buffers across calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.nn import (
+    GRU,
+    LSTM,
+    AvgPool2D,
+    BatchNorm,
+    BidirectionalGRU,
+    BidirectionalLSTM,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Workspace,
+    assert_float32,
+    fast_path_enabled,
+    reference_mode,
+)
+
+ATOL = 1e-5
+
+
+def _fast_and_reference(layer, x):
+    """(fast, reference) outputs of an eval-mode layer on ``x``."""
+    layer.set_training(False)
+    fast = layer.forward(x)
+    with reference_mode():
+        reference = layer.forward(x)
+    return fast, reference
+
+
+def _check_parity(layer, x):
+    fast, reference = _fast_and_reference(layer, x)
+    np.testing.assert_allclose(fast, reference, atol=ATOL)
+    assert fast.dtype == np.float32
+    assert fast.flags["C_CONTIGUOUS"]
+    return fast
+
+
+@pytest.mark.parametrize("kernel,stride,padding,bias", [
+    (3, 1, "same", True), (1, 1, "valid", True), ((1, 7), 1, "same", False),
+    (3, 2, "valid", True), (5, 1, 2, False),
+])
+def test_conv_fast_path_matches_reference(rng, kernel, stride, padding, bias):
+    layer = Conv2D(3, 5, kernel, stride=stride, padding=padding,
+                   use_bias=bias, rng=rng)
+    x = rng.standard_normal((4, 3, 12, 12)).astype(np.float32)
+    _check_parity(layer, x)
+
+
+@pytest.mark.parametrize("cls", [MaxPool2D, AvgPool2D])
+@pytest.mark.parametrize("pool,stride,padding", [
+    (2, 2, 0), (3, 2, 1), (3, 1, "same"),
+])
+def test_pool_fast_path_matches_reference(rng, cls, pool, stride, padding):
+    layer = cls(pool, stride=stride, padding=padding)
+    x = rng.standard_normal((3, 4, 10, 10)).astype(np.float32)
+    _check_parity(layer, x)
+
+
+@pytest.mark.parametrize("cls", [GlobalAvgPool2D, Dense, BatchNorm, ReLU,
+                                 LeakyReLU, Sigmoid, Softmax])
+def test_pointwise_layers_match_reference(rng, cls):
+    if cls is GlobalAvgPool2D:
+        layer, x = cls(), rng.standard_normal((3, 6, 7, 7))
+    elif cls is Dense:
+        layer, x = cls(11, 5, rng=rng), rng.standard_normal((8, 11))
+    elif cls is BatchNorm:
+        layer, x = cls(6), rng.standard_normal((8, 6, 5, 5))
+        layer.set_training(True)
+        layer.forward(x.astype(np.float32))  # accumulate running stats
+    else:
+        layer, x = cls(), rng.standard_normal((8, 13))
+    _check_parity(layer, x.astype(np.float32))
+
+
+@pytest.mark.parametrize("cls", [LSTM, GRU, BidirectionalLSTM,
+                                 BidirectionalGRU])
+@pytest.mark.parametrize("return_sequences", [True, False])
+def test_recurrent_fast_path_matches_reference(rng, cls, return_sequences):
+    layer = cls(12, 8, return_sequences=return_sequences, rng=rng)
+    x = rng.standard_normal((5, 9, 12)).astype(np.float32)
+    _check_parity(layer, x)
+
+
+def test_fast_path_skips_backward_caches(rng):
+    layer = Conv2D(2, 3, 3, rng=rng)
+    x = rng.standard_normal((2, 2, 8, 8)).astype(np.float32)
+    layer.set_training(True)
+    layer.forward(x)
+    assert layer._cols is not None
+    layer.set_training(False)
+    layer.forward(x)
+    assert layer._cols is None
+
+
+def test_workspace_buffers_are_reused(rng):
+    workspace = Workspace()
+    layer = Conv2D(3, 4, 3, rng=rng)
+    layer.set_workspace(workspace)
+    layer.set_training(False)
+    x = rng.standard_normal((2, 3, 10, 10)).astype(np.float32)
+    first = layer.forward(x)
+    buffers_after_first = len(workspace)
+    buffer = workspace.buffer(f"{layer.name}.cols", (2, 27, 100), np.float32)
+    second = layer.forward(x)
+    assert len(workspace) == buffers_after_first  # no new allocations
+    assert workspace.buffer(f"{layer.name}.cols", (2, 27, 100),
+                            np.float32) is buffer
+    np.testing.assert_array_equal(first, second)
+    assert workspace.nbytes > 0
+    workspace.clear()
+    assert len(workspace) == 0
+
+
+def test_workspace_pickles_empty(rng):
+    import pickle
+
+    workspace = Workspace()
+    workspace.buffer("scratch", (4, 4), np.float32)
+    restored = pickle.loads(pickle.dumps(workspace))
+    assert len(restored) == 0  # buffers are dropped, not shipped
+
+
+def test_reference_mode_restores_fast_path():
+    assert fast_path_enabled()
+    with reference_mode():
+        assert not fast_path_enabled()
+    assert fast_path_enabled()
+
+
+def test_assert_float32_rejects_float64():
+    assert_float32(np.zeros(3, dtype=np.float32))
+    with pytest.raises(ReproError):
+        assert_float32(np.zeros(3, dtype=np.float64), where="logits")
+
+
+def test_ensemble_fast_path_matches_reference(tiny_driving_dataset):
+    from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1),
+        rng=np.random.default_rng(3))
+    ensemble.fit(tiny_driving_dataset)
+    images = tiny_driving_dataset.images[:16]
+    windows = tiny_driving_dataset.imu[:16]
+    fast = ensemble.predict_degraded(images=images, imu=windows)
+    with reference_mode():
+        reference = ensemble.predict_degraded(images=images, imu=windows)
+    np.testing.assert_allclose(fast.probabilities, reference.probabilities,
+                               atol=ATOL)
+    np.testing.assert_array_equal(fast.predictions, reference.predictions)

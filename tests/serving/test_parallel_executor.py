@@ -1,0 +1,81 @@
+"""ParallelExecutor: worker-count-invariant verdicts, lifecycle hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import ParallelExecutor, replay_concurrent_drives
+
+
+def test_workers_must_be_positive(serving_ensemble):
+    with pytest.raises(ConfigurationError):
+        ParallelExecutor(serving_ensemble, workers=0)
+
+
+def test_single_worker_is_bit_exact(serving_ensemble, tiny_driving_dataset):
+    images = tiny_driving_dataset.images[:12]
+    windows = tiny_driving_dataset.imu[:12]
+    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=1) as executor:
+        pooled = executor.predict_degraded(images=images, imu=windows)
+    np.testing.assert_array_equal(direct.probabilities, pooled.probabilities)
+    np.testing.assert_array_equal(direct.predictions, pooled.predictions)
+
+
+def test_four_workers_match_single_worker(serving_ensemble,
+                                          tiny_driving_dataset):
+    """Shard execution must not change verdicts, order, or metadata.
+
+    Probabilities are compared to BLAS rounding (GEMM blocking depends
+    on the row count), predictions exactly.
+    """
+    images = tiny_driving_dataset.images[:13]  # uneven split across 4
+    windows = tiny_driving_dataset.imu[:13]
+    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=4) as executor:
+        pooled = executor.predict_degraded(images=images, imu=windows)
+        again = executor.predict_degraded(images=images, imu=windows)
+        imu_only = executor.predict_degraded(imu=windows)
+    np.testing.assert_allclose(direct.probabilities, pooled.probabilities,
+                               atol=1e-7)
+    np.testing.assert_array_equal(direct.predictions, pooled.predictions)
+    assert pooled.degraded == direct.degraded
+    assert pooled.missing == direct.missing
+    # Shared buffers are reused across calls without corrupting results.
+    np.testing.assert_array_equal(pooled.probabilities, again.probabilities)
+    # Degraded metadata survives the worker round-trip.
+    direct_imu = serving_ensemble.predict_degraded(imu=windows)
+    np.testing.assert_allclose(direct_imu.probabilities,
+                               imu_only.probabilities, atol=1e-7)
+    assert imu_only.degraded and "frames" in imu_only.missing
+
+
+def test_tiny_batch_avoids_the_pool(serving_ensemble, tiny_driving_dataset):
+    """A 1-sample batch runs in-process even on a pooled executor."""
+    images = tiny_driving_dataset.images[:1]
+    windows = tiny_driving_dataset.imu[:1]
+    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=4) as executor:
+        pooled = executor.predict_degraded(images=images, imu=windows)
+    np.testing.assert_array_equal(direct.probabilities, pooled.probabilities)
+
+
+def test_close_is_idempotent(serving_ensemble):
+    executor = ParallelExecutor(serving_ensemble, workers=2)
+    executor.close()
+    executor.close()  # second close must be a no-op, not an error
+
+
+def test_replay_verdicts_match_across_worker_counts(serving_ensemble):
+    """The full serving replay delivers the same verdict stream at 1 and
+    2 workers — the parallel path changes wall-clock, never answers."""
+    serial = replay_concurrent_drives(serving_ensemble, drivers=4,
+                                      duration=2.0, seed=11, workers=1)
+    pooled = replay_concurrent_drives(serving_ensemble, drivers=4,
+                                      duration=2.0, seed=11, workers=2)
+    assert pooled.workers == 2
+    assert serial.verdicts == pooled.verdicts
+    assert serial.degraded_verdicts == pooled.degraded_verdicts
+    assert serial.verdicts_per_session == pooled.verdicts_per_session
