@@ -42,6 +42,9 @@ SMOKE_FLOOR = 1.2
 PARALLEL_FLOOR = 1.5
 PARALLEL_WORKERS = 4
 
+#: Max fractional throughput loss the observability layer may cost.
+METRICS_OVERHEAD_LIMIT = 0.05
+
 BATCH = 32
 
 
@@ -155,6 +158,44 @@ def run_parallel_benchmark(*, drivers: int = 16, duration: float = 4.0,
     }
 
 
+def run_metrics_overhead_benchmark(*, drivers: int = 8,
+                                   duration: float = 2.0,
+                                   repeats: int = 4, seed: int = 7) -> dict:
+    """Replay throughput with observability on vs. off.
+
+    The PR-5 acceptance gate is that metrics + tracing cost under
+    :data:`METRICS_OVERHEAD_LIMIT` of throughput.  Shared CI hosts swing
+    replay throughput by ±25% run to run, so the estimator has to be
+    deliberately noise-proof: the two configurations run *interleaved*
+    (off, on, off, on …) so slow drift hits both equally, and each takes
+    the best of ``repeats`` runs — noise on these hosts only ever slows
+    a run down, so the max converges on the true capability of each
+    configuration.
+    """
+    from repro.serving import replay_concurrent_drives
+
+    ensemble, _, _ = inference_models()
+
+    def rps(observability: bool) -> float:
+        return replay_concurrent_drives(
+            ensemble, drivers=drivers, duration=duration, seed=seed,
+            workers=1, observability=observability).throughput_rps
+
+    baseline = 0.0
+    instrumented = 0.0
+    for _ in range(repeats):
+        baseline = max(baseline, rps(False))
+        instrumented = max(instrumented, rps(True))
+    overhead = 1.0 - instrumented / baseline if baseline else 0.0
+    return {
+        "drivers": drivers,
+        "duration_s": duration,
+        "baseline_rps": round(baseline, 1),
+        "instrumented_rps": round(instrumented, 1),
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
 def run_all(*, quick: bool = False) -> dict:
     """The full benchmark + gate evaluation, as the JSON report dict."""
     cpu_count = os.cpu_count() or 1
@@ -162,6 +203,9 @@ def run_all(*, quick: bool = False) -> dict:
     models = run_model_benchmarks(repeats=repeats)
     parallel = run_parallel_benchmark(
         drivers=8 if quick else 16, duration=2.0 if quick else 4.0)
+    overhead = run_metrics_overhead_benchmark(
+        drivers=8 if quick else 16, duration=2.0 if quick else 4.0,
+        repeats=6)
     ensemble_floor = SMOKE_FLOOR if quick else ENSEMBLE_FLOOR
     gates = {
         "ensemble_fast_path": {
@@ -179,6 +223,14 @@ def run_all(*, quick: bool = False) -> dict:
             "status": ("gated" if cpu_count >= 2
                        else f"skipped: single-core host ({cpu_count} cpu)"),
         },
+        "metrics_overhead": {
+            "floor": METRICS_OVERHEAD_LIMIT,
+            "value": overhead["overhead_fraction"],
+            "unit": "",
+            "passed": (overhead["overhead_fraction"]
+                       <= METRICS_OVERHEAD_LIMIT),
+            "status": "gated (overhead must stay below the limit)",
+        },
     }
     return {
         "quick": quick,
@@ -186,6 +238,7 @@ def run_all(*, quick: bool = False) -> dict:
         "batch": BATCH,
         "models": models,
         "parallel_replay": parallel,
+        "metrics_overhead": overhead,
         "gates": gates,
     }
 
@@ -209,11 +262,18 @@ def format_report(report: dict) -> str:
         f"  replay     serial {par['serial_rps']:.1f} rps   "
         f"{par['workers']} workers {par['parallel_rps']:.1f} rps   "
         f"{par['speedup']:.2f}x")
+    if "metrics_overhead" in report:
+        ovh = report["metrics_overhead"]
+        lines.append(
+            f"  obs        off {ovh['baseline_rps']:.1f} rps   "
+            f"on {ovh['instrumented_rps']:.1f} rps   "
+            f"overhead {100 * ovh['overhead_fraction']:.1f}%")
     for name, gate in report["gates"].items():
         verdict = {True: "PASS", False: "FAIL", None: "SKIP"}[gate["passed"]]
         status = gate.get("status", "gated")
-        lines.append(f"  gate {name}: {gate['value']:.2f}x vs floor "
-                     f"{gate['floor']:.1f}x — {verdict} ({status})")
+        unit = gate.get("unit", "x")
+        lines.append(f"  gate {name}: {gate['value']:.2f}{unit} vs floor "
+                     f"{gate['floor']:.2f}{unit} — {verdict} ({status})")
     return "\n".join(lines)
 
 
@@ -233,6 +293,15 @@ def test_inference_fast_path_speedup(benchmark):
                                 rounds=1, iterations=1)
     write_report("inference", format_report(report))
     assert report["gates"]["ensemble_fast_path"]["passed"]
+
+
+def test_metrics_overhead_within_limit(benchmark):
+    """Observability costs under 5% of replay throughput."""
+    report = benchmark.pedantic(
+        lambda: run_metrics_overhead_benchmark(drivers=8, duration=2.0,
+                                               repeats=6),
+        rounds=1, iterations=1)
+    assert report["overhead_fraction"] <= METRICS_OVERHEAD_LIMIT
 
 
 def test_parallel_replay_not_slower_than_floor(benchmark):

@@ -11,7 +11,10 @@ Subcommands mirror the system's lifecycle:
   fault-tolerance report.
 * ``serve``     — run the micro-batched inference server; ``--replay``
   pushes N concurrent scripted drives through it and prints a
-  throughput/latency report.
+  throughput/latency report plus the metrics snapshot and a sample
+  request trace (``--metrics-out`` saves the snapshot as JSON).
+* ``stats``     — render a saved metrics snapshot (human table or
+  Prometheus text format) without the process that produced it.
 """
 
 from __future__ import annotations
@@ -196,17 +199,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({args.duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
           f"deadline {args.deadline_ms:.0f} ms, {args.workers} worker(s), "
           f"{args.kill_camera} camera(s) killed mid-replay)...")
-    report = replay_concurrent_drives(
-        ensemble, drivers=args.drivers, duration=args.duration,
-        max_batch=args.max_batch, max_delay=args.deadline_ms / 1e3,
-        kill_camera=args.kill_camera, seed=args.seed, workers=args.workers)
+    from repro.nn.runtime import profiled_layers
+
+    with profiled_layers(args.profile_layers):
+        report = replay_concurrent_drives(
+            ensemble, drivers=args.drivers, duration=args.duration,
+            max_batch=args.max_batch, max_delay=args.deadline_ms / 1e3,
+            kill_camera=args.kill_camera, seed=args.seed,
+            workers=args.workers)
     print()
     print(report.format_report())
+    from repro.obs import bundle, render_text, render_traces, save_snapshot
+
+    document = bundle(report.metrics, report.traces)
+    print("\n== Metrics snapshot ==")
+    print(render_text(document))
+    print("\n== Sample trace ==")
+    print(render_traces(document, limit=1))
+    if args.metrics_out:
+        save_snapshot(document, args.metrics_out)
+        print(f"\nSnapshot saved to {args.metrics_out} "
+              f"(inspect with `repro stats {args.metrics_out}`)")
     complete = all(count == report.instants
                    for count in report.verdicts_per_session.values())
     print(f"\nOne verdict per grid instant per driver: "
           f"{'yes' if complete else 'NO'}")
     return 0 if complete else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        load_snapshot,
+        render_prometheus,
+        render_text,
+        render_traces,
+    )
+
+    document = load_snapshot(args.snapshot)
+    if args.format == "prometheus":
+        print(render_prometheus(document), end="")
+    else:
+        print(render_text(document, zeros=args.zeros))
+        if args.traces:
+            print()
+            print(render_traces(document, limit=args.traces))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,7 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--train-samples", type=int, default=120)
     serve.add_argument("--train-epochs", type=int, default=1)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--metrics-out", default=None,
+                       help="write the metrics+trace snapshot to this "
+                            "JSON file")
+    serve.add_argument("--profile-layers", type=int, default=0,
+                       metavar="N",
+                       help="time individual layers on every Nth forward "
+                            "pass (0 disables sampling)")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="render a saved metrics snapshot")
+    stats.add_argument("snapshot", help="JSON file written by "
+                                        "`repro serve --metrics-out`")
+    stats.add_argument("--format", default="text",
+                       choices=["text", "prometheus"])
+    stats.add_argument("--traces", type=int, default=1,
+                       help="completed traces to render (text format)")
+    stats.add_argument("--zeros", action="store_true",
+                       help="include instruments that never recorded")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

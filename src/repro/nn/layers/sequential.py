@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 import numpy as np
 
 from repro.nn.layers.base import Layer
+from repro.nn.runtime import profiling
 
 
 class Sequential(Layer):
@@ -23,8 +25,18 @@ class Sequential(Layer):
         return self
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if profiling.should_sample():
+            return self._forward_profiled(x)
         for layer in self.layers:
             x = layer.forward(x)
+        return x
+
+    def _forward_profiled(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            start = time.perf_counter()
+            x = layer.forward(x)
+            profiling.layer_timer(layer.name).observe(
+                time.perf_counter() - start)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

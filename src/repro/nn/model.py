@@ -174,6 +174,7 @@ class NeuralNetwork:
             self.network.forward(x[start:start + batch_size])
             for start in range(0, x.shape[0], batch_size)
         ]
+        self.workspace.publish_metrics()
         return np.concatenate(chunks, axis=0)
 
     def predict_logits(self, x: np.ndarray) -> np.ndarray:

@@ -38,6 +38,11 @@ class Workspace:
 
     def __init__(self) -> None:
         self._buffers: dict[_Key, np.ndarray] = {}
+        # Plain ints on the hot path; published to the process registry
+        # in bulk by publish_metrics() so buffer() stays lock-free.
+        self.hits = 0
+        self.misses = 0
+        self._published = (0, 0)
 
     def buffer(self, tag: str, shape: tuple[int, ...],
                dtype: np.dtype | type = np.float32) -> np.ndarray:
@@ -50,8 +55,11 @@ class Workspace:
         key = (tag, tuple(int(s) for s in shape), dtype.str)
         buf = self._buffers.get(key)
         if buf is None:
+            self.misses += 1
             buf = np.empty(key[1], dtype=dtype)
             self._buffers[key] = buf
+        else:
+            self.hits += 1
         return buf
 
     def zeros(self, tag: str, shape: tuple[int, ...],
@@ -73,6 +81,27 @@ class Workspace:
         """Drop every buffer (frees the memory to the allocator)."""
         self._buffers.clear()
 
+    def publish_metrics(self) -> None:
+        """Flush hit/miss deltas to the process metrics registry.
+
+        Deferred import and bulk increments keep :meth:`buffer` free of
+        registry locking; callers (the model's predict path, the serving
+        snapshot) publish at batch granularity instead.
+        """
+        from repro.obs.metrics import get_registry
+
+        hits, misses = self.hits, self.misses
+        done_hits, done_misses = self._published
+        registry = get_registry()
+        if hits > done_hits:
+            registry.counter("nn_workspace_hits_total",
+                             "Workspace buffer reuses").inc(hits - done_hits)
+        if misses > done_misses:
+            registry.counter("nn_workspace_misses_total",
+                             "Workspace buffer allocations").inc(
+                                 misses - done_misses)
+        self._published = (hits, misses)
+
     # Workspaces ride along on models that get pickled into worker
     # processes; the buffers are pure scratch, so ship none of them.
     def __getstate__(self) -> dict:
@@ -81,6 +110,9 @@ class Workspace:
     def __setstate__(self, state: dict) -> None:
         del state
         self._buffers = {}
+        self.hits = 0
+        self.misses = 0
+        self._published = (0, 0)
 
     def __repr__(self) -> str:
         return (f"Workspace(buffers={len(self._buffers)}, "

@@ -1,0 +1,179 @@
+"""Snapshot exporters: JSON files, Prometheus text format, human tables.
+
+Every exporter works on the plain-dict snapshot produced by
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (optionally bundled
+with a tracer dump), so a snapshot written at the end of a replay can be
+inspected later with ``repro stats`` without the process that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.exceptions import ConfigurationError
+
+#: The quantiles rendered for every histogram.
+QUANTILES = (50.0, 95.0, 99.0)
+
+
+def bundle(metrics_snapshot: dict, traces: list[dict] | None = None) -> dict:
+    """One self-describing document: metrics plus (optionally) traces."""
+    document = {"version": 1, "metrics": metrics_snapshot.get("metrics", [])}
+    if traces is not None:
+        document["traces"] = traces
+    return document
+
+
+def save_snapshot(document: dict, path: str) -> None:
+    """Write a snapshot document as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, default=_json_safe)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a snapshot document written by :func:`save_snapshot`."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if "metrics" not in document:
+        raise ConfigurationError(f"{path}: not a metrics snapshot")
+    return document
+
+
+def _json_safe(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
+
+
+# -- quantile estimation over snapshot dicts ----------------------------------
+
+def histogram_percentile(entry: dict, q: float) -> float:
+    """Percentile estimate from a snapshot histogram entry.
+
+    Mirrors :meth:`repro.obs.metrics.Histogram.percentile` so saved
+    snapshots yield the same numbers the live instrument would.
+    """
+    count = entry["count"]
+    if count == 0:
+        return 0.0
+    buckets = list(entry["buckets"])
+    counts = list(entry["counts"])
+    low = entry.get("min")
+    high = entry.get("max")
+    low = buckets[0] if low is None else low
+    high = buckets[-1] if high is None else high
+
+    def edge(index: int) -> float:
+        if index < 0:
+            return low
+        if index >= len(buckets):
+            return high
+        return min(max(buckets[index], low), high)
+
+    rank = q / 100.0 * count
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            fraction = max(0.0, rank - cumulative) / bucket_count
+            lower, upper = edge(index - 1), edge(index)
+            return lower + fraction * (upper - lower)
+        cumulative += bucket_count
+    return high
+
+
+# -- Prometheus text format ---------------------------------------------------
+
+def _label_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = [f'{key}="{value}"' for key, value in sorted(labels.items())]
+    return "{" + ",".join(parts) + "}"
+
+
+def _merge_labels(labels: dict, extra: dict) -> str:
+    combined = dict(labels)
+    combined.update(extra)
+    return _label_text(combined)
+
+
+def render_prometheus(document: dict) -> str:
+    """The snapshot in Prometheus exposition text format (0.0.4)."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for entry in document.get("metrics", []):
+        name, labels = entry["name"], entry.get("labels", {})
+        if name not in seen_types:
+            if entry.get("help"):
+                lines.append(f"# HELP {name} {entry['help']}")
+            lines.append(f"# TYPE {name} {entry['kind']}")
+            seen_types.add(name)
+        if entry["kind"] in ("counter", "gauge"):
+            lines.append(f"{name}{_label_text(labels)} {entry['value']:g}")
+            continue
+        cumulative = 0
+        for bound, count in zip(entry["buckets"], entry["counts"]):
+            cumulative += count
+            lines.append(f"{name}_bucket"
+                         f"{_merge_labels(labels, {'le': f'{bound:g}'})}"
+                         f" {cumulative}")
+        lines.append(f"{name}_bucket{_merge_labels(labels, {'le': '+Inf'})}"
+                     f" {entry['count']}")
+        lines.append(f"{name}_sum{_label_text(labels)} {entry['sum']:g}")
+        lines.append(f"{name}_count{_label_text(labels)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- human-readable table -----------------------------------------------------
+
+def render_text(document: dict, *, zeros: bool = False) -> str:
+    """Compact table of every instrument, histograms with p50/p95/p99.
+
+    Args:
+        document: a snapshot document (live or loaded from disk).
+        zeros: include counters/histograms that never recorded anything.
+    """
+    lines: list[str] = []
+    for entry in document.get("metrics", []):
+        label = entry["name"] + _label_text(entry.get("labels", {}))
+        if entry["kind"] == "histogram":
+            if entry["count"] == 0 and not zeros:
+                continue
+            # Time-valued histograms read best in milliseconds; unitless
+            # ones (batch sizes, depths) are printed as-is.
+            timed = entry["name"].endswith("_seconds")
+            scale, unit = (1e3, "ms") if timed else (1.0, "")
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            quantiles = "  ".join(
+                f"p{int(q)}={histogram_percentile(entry, q) * scale:.3f}{unit}"
+                for q in QUANTILES)
+            lines.append(
+                f"{label:<58} n={entry['count']:<7} "
+                f"mean={mean * scale:.3f}{unit}  "
+                f"{quantiles}")
+        else:
+            if entry["value"] == 0 and not zeros:
+                continue
+            lines.append(f"{label:<58} {entry['value']:g}")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)
+
+
+def render_traces(document: dict, *, limit: int = 1) -> str:
+    """Render the last ``limit`` completed traces from a document."""
+    traces = [t for t in document.get("traces", []) if t.get("complete")]
+    if not traces:
+        return "(no completed traces)"
+    lines = []
+    for trace in traces[-limit:]:
+        lines.append(f"trace {trace['trace_id']} ({trace['name']}) — "
+                     f"{trace['duration_s'] * 1e3:.3f} ms")
+        for span in trace.get("spans", []):
+            meta = f"  {span['meta']}" if span.get("meta") else ""
+            lines.append(f"  {span['name']:<12} "
+                         f"{span['duration_s'] * 1e6:9.1f} us{meta}")
+    return "\n".join(lines)

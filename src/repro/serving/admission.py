@@ -21,9 +21,10 @@ Two gates:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import itertools
 
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.serving.scheduler import MicroBatchScheduler
 
 
@@ -35,14 +36,37 @@ class AdmissionDecision(enum.Enum):
     REJECT_SESSIONS_FULL = "reject_sessions_full"
 
 
-@dataclass
-class AdmissionStats:
-    """Admission counters."""
+_GATE_IDS = itertools.count(1)
 
-    requests_admitted: int = 0
-    requests_rejected: int = 0
-    sessions_admitted: int = 0
-    sessions_rejected: int = 0
+
+class AdmissionStats:
+    """Admission counters, registry-backed.
+
+    Same migration as :class:`~repro.serving.scheduler.SchedulerStats`:
+    the fields are labelled registry counters, reads keep the original
+    dataclass shape.
+    """
+
+    _FIELDS = ("requests_admitted", "requests_rejected",
+               "sessions_admitted", "sessions_rejected")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        registry = registry or get_registry()
+        label = f"g{next(_GATE_IDS)}"
+        self._counters = {
+            name: registry.counter(f"serving_admission_{name}_total",
+                                   gate=label)
+            for name in self._FIELDS
+        }
+
+    def incr(self, name: str) -> None:
+        self._counters[name].inc()
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
 
 
 class AdmissionController:
@@ -55,21 +79,22 @@ class AdmissionController:
     """
 
     def __init__(self, *, max_sessions: int = 1024,
-                 high_watermark: float = 0.9) -> None:
+                 high_watermark: float = 0.9,
+                 registry: MetricsRegistry | None = None) -> None:
         if max_sessions < 1:
             raise ConfigurationError("max_sessions must be >= 1")
         if not 0.0 < high_watermark <= 1.0:
             raise ConfigurationError("high_watermark must be in (0, 1]")
         self.max_sessions = int(max_sessions)
         self.high_watermark = float(high_watermark)
-        self.stats = AdmissionStats()
+        self.stats = AdmissionStats(registry)
 
     def admit_session(self, active_sessions: int) -> AdmissionDecision:
         """Whether a new driver session may open."""
         if active_sessions >= self.max_sessions:
-            self.stats.sessions_rejected += 1
+            self.stats.incr("sessions_rejected")
             return AdmissionDecision.REJECT_SESSIONS_FULL
-        self.stats.sessions_admitted += 1
+        self.stats.incr("sessions_admitted")
         return AdmissionDecision.ADMIT
 
     def admit_request(self, priority: float,
@@ -79,7 +104,7 @@ class AdmissionController:
         if scheduler.depth >= threshold:
             lowest = scheduler.lowest_priority()
             if lowest is not None and priority <= lowest:
-                self.stats.requests_rejected += 1
+                self.stats.incr("requests_rejected")
                 return AdmissionDecision.REJECT_QUEUE_FULL
-        self.stats.requests_admitted += 1
+        self.stats.incr("requests_admitted")
         return AdmissionDecision.ADMIT

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from multiprocessing import get_context, shared_memory
 
 import numpy as np
 
 from repro.core.ensemble import DegradedPrediction
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
 
 # -- worker-process state ----------------------------------------------------
 
@@ -85,8 +87,17 @@ def _view(spec: tuple[str, tuple[int, ...], str] | None) -> np.ndarray | None:
     return np.ndarray(shape, dtype=dtype, buffer=_attached(name).buf)
 
 
-def _worker_run(task: dict) -> tuple[int, int, bool, tuple[str, ...]]:
-    """Classify one contiguous shard; write probabilities into the output."""
+def _worker_run(task: dict) -> dict:
+    """Classify one contiguous shard; write probabilities into the output.
+
+    Besides the shard result, the worker reports its wall-clock interval
+    (``perf_counter`` is CLOCK_MONOTONIC on Linux, comparable across the
+    forked processes) and a :meth:`~repro.obs.metrics.MetricsRegistry.drain`
+    of its process-local registry — the fork-aware ``get_registry`` gives
+    each worker a fresh registry, so the drain is a clean delta the
+    parent folds back in.
+    """
+    start = time.perf_counter()
     lo, hi = task["lo"], task["hi"]
     images = _view(task["images"])
     imu = _view(task["imu"])
@@ -98,7 +109,13 @@ def _worker_run(task: dict) -> tuple[int, int, bool, tuple[str, ...]]:
     result = _WORKER_MODEL.predict_degraded(**kwargs)
     out = _view(task["out"])
     out[lo:hi] = result.probabilities
-    return lo, hi, result.degraded, tuple(result.missing)
+    return {
+        "lo": lo, "hi": hi,
+        "degraded": result.degraded,
+        "missing": tuple(result.missing),
+        "start": start, "end": time.perf_counter(),
+        "metrics": get_registry().drain(),
+    }
 
 
 # -- parent-side executor ----------------------------------------------------
@@ -122,6 +139,13 @@ class ParallelExecutor:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.model = model
         self.workers = int(workers)
+        #: Shard intervals of the last pooled batch, as
+        #: ``(lo, hi, start, end)`` perf_counter tuples; empty when the
+        #: batch ran in-process.  The server turns these into trace spans.
+        self.last_shards: list[tuple[int, int, float, float]] = []
+        self._shard_hist = get_registry().histogram(
+            "serving_executor_shard_seconds",
+            "Wall-clock time of one worker shard")
         self._pool = None
         self._model_block: shared_memory.SharedMemory | None = None
         self._blocks: dict[str, shared_memory.SharedMemory] = {}
@@ -173,10 +197,12 @@ class ParallelExecutor:
                          imu: np.ndarray | None = None) -> DegradedPrediction:
         """Model-compatible verdict batch, sharded across the pool."""
         if self._pool is None:
+            self.last_shards = []
             return self.model.predict_degraded(images=images, imu=imu)
         count = len(images if images is not None else imu)
         shards = min(self.workers, count)
         if shards < 2:
+            self.last_shards = []
             return self.model.predict_degraded(images=images, imu=imu)
         classes, out_dtype = self._probe_output(images, imu)
         image_spec = (None if images is None
@@ -194,8 +220,15 @@ class ParallelExecutor:
         metas = self._pool.map(_worker_run, tasks)
         probabilities = np.ndarray((count, classes), dtype=out_dtype,
                                    buffer=out_segment.buf).copy()
-        degraded = metas[0][2]
-        missing = metas[0][3]
+        registry = get_registry()
+        self.last_shards = []
+        for meta in metas:
+            self.last_shards.append(
+                (meta["lo"], meta["hi"], meta["start"], meta["end"]))
+            self._shard_hist.observe(meta["end"] - meta["start"])
+            registry.merge(meta["metrics"])
+        degraded = metas[0]["degraded"]
+        missing = metas[0]["missing"]
         return DegradedPrediction(
             probabilities=probabilities,
             predictions=probabilities.argmax(axis=1),

@@ -107,6 +107,13 @@ class ReplayReport:
     killed_sessions: list[str] = field(default_factory=list)
     verdicts_per_session: dict[str, int] = field(default_factory=dict)
     degraded_per_session: dict[str, int] = field(default_factory=dict)
+    #: Merged metrics snapshot + completed traces captured before the
+    #: server was torn down (empty when observability was off).
+    metrics: dict = field(default_factory=dict)
+    traces: list[dict] = field(default_factory=list)
+    #: Delivered verdicts in delivery order, reduced to the
+    #: deterministic fields — the golden-replay fixture compares these.
+    verdict_log: list[dict] = field(default_factory=list)
 
     def format_report(self) -> str:
         """Human-readable throughput/latency summary."""
@@ -156,7 +163,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
                              frame_stale_after: float = 1.0,
                              seed: int = 0,
                              script: DriveScript | None = None,
-                             workers: int = 1) -> ReplayReport:
+                             workers: int = 1,
+                             observability: bool = True) -> ReplayReport:
     """Replay ``drivers`` concurrent scripted drives through a server.
 
     Args:
@@ -178,6 +186,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         script: drive script; a standard all-behaviours script by default.
         workers: execution processes for flushed batches (1 = in-process,
             bit-exact with the pre-executor replay).
+        observability: stage histograms and request tracing; disable for
+            the overhead benchmark's baseline measurement.
     """
     if drivers < 1 or duration <= 0:
         raise ConfigurationError("need drivers >= 1 and duration > 0")
@@ -204,7 +214,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         max_delay=max_delay,
         queue_capacity=(4 * drivers if queue_capacity is None
                         else queue_capacity),
-        workers=workers)
+        workers=workers,
+        observability=observability)
     server.warm_executors()
     session_ids = [server.open_session(trace.driver_id)
                    for trace in traces]
@@ -243,6 +254,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         absorb(server.step(now + max_delay))
     absorb(server.drain(duration))
     wall_seconds = time.perf_counter() - wall_start
+    metrics = server.metrics_snapshot() if observability else {}
+    traces = server.traces() if observability else []
     server.close()
 
     per_session: dict[str, int] = {sid: 0 for sid in session_ids}
@@ -276,4 +289,13 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         killed_sessions=killed_sessions,
         verdicts_per_session=per_session,
         degraded_per_session=degraded_per,
+        metrics=metrics,
+        traces=traces,
+        verdict_log=[
+            {"session_id": verdict.session_id,
+             "sequence": verdict.sequence,
+             "predicted": verdict.predicted,
+             "degraded": verdict.degraded}
+            for verdict in delivered
+        ],
     )

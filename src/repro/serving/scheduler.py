@@ -20,12 +20,15 @@ here).
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, get_registry
 
 #: Modality masks a request can carry (which streams were live).
 MODALITY_BOTH = "both"
@@ -45,6 +48,12 @@ class InferenceRequest:
     model_key: str
     window: np.ndarray | None = None
     frame: np.ndarray | None = None
+    #: Observability: trace id minted at admission, wall-clock enqueue
+    #: time stamped by the scheduler, and the dispatch-retry count used
+    #: by the server's batch-failure recovery path.
+    trace_id: str | None = None
+    enqueued_wall: float = 0.0
+    retries: int = 0
 
     @property
     def modality(self) -> str:
@@ -71,29 +80,83 @@ class MicroBatch:
     modality: str
     requests: list[InferenceRequest]
     flushed_at: float
+    #: Wall-clock flush instant — per-request queue latency is
+    #: ``flushed_wall - request.enqueued_wall``.
+    flushed_wall: float = 0.0
 
     def __len__(self) -> int:
         return len(self.requests)
 
 
-@dataclass
-class SchedulerStats:
-    """Queue and batching counters."""
+#: Uniquifies the ``sched`` label so concurrent schedulers (one per
+#: server, several per test process) never share counter series.
+_SCHED_IDS = itertools.count(1)
 
-    submitted: int = 0
-    rejected: int = 0
-    shed: int = 0
-    batches: int = 0
-    dispatched: int = 0
-    batch_size_sum: int = 0
-    max_batch_size: int = 0
-    depth_peak: int = 0
+
+class SchedulerStats:
+    """Queue and batching telemetry, registry-backed.
+
+    The PR-2 ad-hoc counter dataclass migrated onto the metrics
+    registry: counts live in labelled :class:`~repro.obs.metrics.Counter`
+    instruments and the batch-size distribution in a fixed-bucket
+    histogram, while the original read API (``stats.shed``,
+    ``stats.mean_batch_size`` …) keeps working for callers and tests.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        registry = registry or get_registry()
+        label = f"s{next(_SCHED_IDS)}"
+        self._counters = {
+            name: registry.counter(f"serving_scheduler_{name}_total",
+                                   sched=label)
+            for name in ("submitted", "rejected", "shed", "requeued",
+                         "batches", "dispatched")
+        }
+        self._batch_size = registry.histogram(
+            "serving_batch_size", "Requests per flushed micro-batch",
+            buckets=COUNT_BUCKETS, sched=label)
+        self._depth = registry.gauge("serving_queue_depth",
+                                     "Requests currently queued",
+                                     sched=label)
+        self._depth_peak = registry.gauge("serving_queue_depth_peak",
+                                          "High-watermark of queue depth",
+                                          sched=label)
+
+    # -- write API (scheduler-internal) ----------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def record_batch(self, size: int) -> None:
+        self._counters["batches"].inc()
+        self._counters["dispatched"].inc(size)
+        self._batch_size.observe(size)
+
+    def record_depth(self, depth: int) -> None:
+        self._depth.set(depth)
+        self._depth_peak.set_max(depth)
+
+    # -- read API (unchanged shape) --------------------------------------
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    @property
+    def batch_size_sum(self) -> int:
+        return int(self._batch_size.sum)
+
+    @property
+    def max_batch_size(self) -> int:
+        return int(self._batch_size.max)
+
+    @property
+    def depth_peak(self) -> int:
+        return int(self._depth_peak.value)
 
     @property
     def mean_batch_size(self) -> float:
-        if self.batches == 0:
-            return 0.0
-        return self.batch_size_sum / self.batches
+        return self._batch_size.mean
 
 
 class MicroBatchScheduler:
@@ -115,7 +178,8 @@ class MicroBatchScheduler:
     """
 
     def __init__(self, *, max_batch: int = 32, max_delay: float = 0.025,
-                 capacity: int = 256) -> None:
+                 capacity: int = 256,
+                 registry: MetricsRegistry | None = None) -> None:
         if max_batch < 1 or capacity < 1:
             raise ConfigurationError("max_batch and capacity must be >= 1")
         if max_delay < 0:
@@ -123,7 +187,9 @@ class MicroBatchScheduler:
         self.max_batch = int(max_batch)
         self.max_delay = float(max_delay)
         self.capacity = int(capacity)
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(registry)
+        #: Called with each shed request (the server discards its trace).
+        self.on_evict = None
         self._queues: dict[tuple[str, str], list[InferenceRequest]] = {}
         # RLock so public methods can share the locked helpers below.
         self._lock = threading.RLock()
@@ -159,13 +225,32 @@ class MicroBatchScheduler:
             if self.depth >= self.capacity:
                 lowest = self.lowest_priority()
                 if lowest is not None and request.priority <= lowest:
-                    self.stats.rejected += 1
+                    self.stats.incr("rejected")
                     return False
                 self._shed_lowest()
+            request.enqueued_wall = time.perf_counter()
             self._queues.setdefault(request.group, []).append(request)
-            self.stats.submitted += 1
-            self.stats.depth_peak = max(self.stats.depth_peak, self.depth)
+            self.stats.incr("submitted")
+            self.stats.record_depth(self.depth)
             return True
+
+    def requeue(self, requests: list[InferenceRequest]) -> None:
+        """Put already-admitted requests back at the head of their queues.
+
+        The batch-failure recovery path: a flushed batch whose execution
+        raised is not silently lost — its requests go back for another
+        flush.  Re-queued work bypasses the capacity check (it was
+        admitted once; dropping it now would turn a transient model
+        fault into silent data loss) and is *not* re-counted as
+        submitted, so the accounting identity
+        ``submitted == dispatched + shed + queued`` still holds.
+        """
+        with self._lock:
+            for request in requests:
+                request.enqueued_wall = time.perf_counter()
+                self._queues.setdefault(request.group, []).insert(0, request)
+                self.stats.incr("requeued")
+            self.stats.record_depth(self.depth)
 
     def _shed_lowest(self) -> None:
         with self._lock:
@@ -180,8 +265,10 @@ class MicroBatchScheduler:
                         victim_group, victim_index = group, index
                         victim_priority = request.priority
             if victim_group is not None:
-                self._queues[victim_group].pop(victim_index)
-                self.stats.shed += 1
+                victim = self._queues[victim_group].pop(victim_index)
+                self.stats.incr("shed")
+                if self.on_evict is not None:
+                    self.on_evict(victim)
 
     # -- flushing --------------------------------------------------------
     def _group_due(self, queue: list[InferenceRequest], now: float) -> bool:
@@ -209,6 +296,7 @@ class MicroBatchScheduler:
         never blocked behind model execution.
         """
         batches: list[MicroBatch] = []
+        flushed_wall = time.perf_counter()
         with self._lock:
             for group in list(self._queues):
                 queue = self._queues[group]
@@ -217,13 +305,12 @@ class MicroBatchScheduler:
                     take, rest = queue[:self.max_batch], queue[self.max_batch:]
                     self._queues[group] = queue = rest
                     batch = MicroBatch(model_key=group[0], modality=group[1],
-                                       requests=take, flushed_at=now)
+                                       requests=take, flushed_at=now,
+                                       flushed_wall=flushed_wall)
                     batches.append(batch)
-                    self.stats.batches += 1
-                    self.stats.dispatched += len(take)
-                    self.stats.batch_size_sum += len(take)
-                    self.stats.max_batch_size = max(self.stats.max_batch_size,
-                                                    len(take))
+                    self.stats.record_batch(len(take))
                 if not queue:
                     del self._queues[group]
+            if batches:
+                self.stats.record_depth(self.depth)
         return batches

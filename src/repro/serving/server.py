@@ -19,12 +19,16 @@ is the whole point of the PR-1 degraded-mode path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
 from repro.exceptions import ServingError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.tracing import Span, Tracer
 from repro.serving.admission import AdmissionController, AdmissionDecision
 from repro.serving.executor import ParallelExecutor
 from repro.serving.registry import ServingModelRegistry
@@ -37,6 +41,10 @@ from repro.serving.scheduler import (
     MicroBatchScheduler,
 )
 from repro.serving.sessions import DriverSession, StreamState
+
+#: How many times a request survives a failed batch before it is failed
+#: explicitly (one retry: transient faults clear, poison pills do not).
+MAX_DISPATCH_RETRIES = 1
 
 
 @dataclass
@@ -57,25 +65,49 @@ class ServingVerdict:
     latency: float            # request-to-delivery in simulation time
 
 
-@dataclass
-class ServerStats:
-    """Server-level counters and latency accounting."""
+#: Uniquifies the ``server`` label across concurrently live servers.
+_SERVER_IDS = itertools.count(1)
 
-    requests: int = 0
-    verdicts: int = 0
-    degraded_verdicts: int = 0
-    rejected: int = 0
-    unservable: int = 0
-    latencies: list[float] = field(default_factory=list)
+
+class ServerStats:
+    """Server-level counters and latency accounting, registry-backed.
+
+    Counts live in labelled registry instruments (one ``server=srvN``
+    series per server instance); reads keep the original dataclass
+    shape, and verdict latency percentiles come from a fixed-bucket
+    histogram instead of an unbounded sample list.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 label: str | None = None) -> None:
+        registry = registry or get_registry()
+        label = label or f"srv{next(_SERVER_IDS)}"
+        self.label = label
+        self._counters = {
+            name: registry.counter(f"serving_{name}_total", server=label)
+            for name in ("requests", "verdicts", "degraded_verdicts",
+                         "rejected", "unservable", "dispatch_failures",
+                         "requests_failed")
+        }
+        self._latency = registry.histogram(
+            "serving_verdict_latency_seconds",
+            "Request-to-delivery latency in simulation time", server=label)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
 
     def record_latency(self, value: float) -> None:
-        self.latencies.append(float(value))
+        self._latency.observe(value)
 
     def latency_percentile(self, percentile: float) -> float:
-        """Latency percentile in seconds (0.0 before any verdicts)."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(np.asarray(self.latencies), percentile))
+        """Estimated latency percentile in seconds (0.0 before verdicts)."""
+        return self._latency.percentile(percentile)
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
 
 
 class InferenceServer:
@@ -96,6 +128,12 @@ class InferenceServer:
             :class:`~repro.serving.executor.ParallelExecutor` pool.
             Executors snapshot a variant's weights when first used, so a
             hot-swapped model only takes effect after :meth:`close`.
+        observability: when False the tracer and per-stage wall-clock
+            histograms are disabled (accounting counters stay on) — the
+            configuration the overhead benchmark compares against.
+        metrics: the registry server telemetry lands in; a private
+            per-server registry by default so two servers in one process
+            never mix series.
     """
 
     def __init__(self, registry: ServingModelRegistry, *,
@@ -103,15 +141,34 @@ class InferenceServer:
                  queue_capacity: int = 256,
                  admission: AdmissionController | None = None,
                  window_steps: int = DEFAULT_WINDOW_STEPS,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 observability: bool = True,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.registry = registry
+        self.observability = bool(observability)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer(enabled=self.observability)
         self.scheduler = MicroBatchScheduler(max_batch=max_batch,
                                              max_delay=max_delay,
-                                             capacity=queue_capacity)
-        self.admission = admission or AdmissionController()
+                                             capacity=queue_capacity,
+                                             registry=self.metrics)
+        self.admission = admission or AdmissionController(
+            registry=self.metrics)
         self.window_steps = int(window_steps)
         self.workers = int(workers)
-        self.stats = ServerStats()
+        self.stats = ServerStats(self.metrics)
+        label = self.stats.label
+        self._stage = {
+            stage: self.metrics.histogram(
+                f"serving_stage_{stage}_seconds",
+                f"Wall-clock time spent in the {stage} stage",
+                server=label)
+            for stage in ("admission", "queue", "forward", "combine")
+        }
+        self.last_dispatch_error: BaseException | None = None
+        # Shed requests must not leave orphaned active traces behind.
+        self.scheduler.on_evict = \
+            lambda request: self.tracer.discard(request.trace_id)
         self._sessions: dict[str, DriverSession] = {}
         self._outboxes: dict[str, list[ServingVerdict]] = {}
         self._executors: dict[str, ParallelExecutor] = {}
@@ -182,37 +239,71 @@ class InferenceServer:
         the queue turned the request away.
         """
         session = self.session(session_id)
-        self.stats.requests += 1
+        self.stats.incr("requests")
+        admit_start = time.perf_counter() if self.observability else 0.0
         frame = (session.latest_frame()
                  if session.frame_state(now) is StreamState.LIVE else None)
         window = (session.window()
                   if session.imu_state(now) is StreamState.LIVE else None)
         if frame is None and window is None:
-            self.stats.unservable += 1
+            self.stats.incr("unservable")
             return False
         priority = session.priority(now)
         if (self.admission.admit_request(priority, self.scheduler)
                 is not AdmissionDecision.ADMIT):
-            self.stats.rejected += 1
+            self.stats.incr("rejected")
             return False
+        trace_id = self.tracer.start(f"verdict/{session_id}")
+        if self.observability:
+            admitted = time.perf_counter()
+            self._stage["admission"].observe(admitted - admit_start)
+            self.tracer.record(trace_id, "admission", admit_start, admitted,
+                               session=session_id)
         request = InferenceRequest(
             session_id=session_id, sequence=session.next_sequence(),
             submitted_at=now, deadline=now + self.scheduler.max_delay,
             priority=priority, model_key=self.registry.route(session.privacy),
-            window=window, frame=frame)
+            window=window, frame=frame, trace_id=trace_id)
         if not self.scheduler.submit(request, now):
-            self.stats.rejected += 1
+            self.stats.incr("rejected")
+            self.tracer.discard(trace_id)
             return False
         return True
 
     # -- dispatch --------------------------------------------------------
     def step(self, now: float, *, force: bool = False
              ) -> list[ServingVerdict]:
-        """Flush due micro-batches and deliver their verdicts."""
+        """Flush due micro-batches and deliver their verdicts.
+
+        A batch whose execution raises does not take the server down and
+        does not vanish silently: the failure lands on a counter, fresh
+        requests go back to the queue for one retry, and requests that
+        already burned their retry are failed explicitly (counted, trace
+        discarded).
+        """
         verdicts: list[ServingVerdict] = []
         for batch in self.scheduler.flush(now, force=force):
-            verdicts.extend(self._dispatch(batch, now))
+            try:
+                verdicts.extend(self._dispatch(batch, now))
+            except Exception as error:  # noqa: BLE001 — fault barrier
+                self._on_dispatch_failure(batch, error)
         return verdicts
+
+    def _on_dispatch_failure(self, batch: MicroBatch,
+                             error: Exception) -> None:
+        """Account a failed batch: retry fresh requests, fail the rest."""
+        self.last_dispatch_error = error
+        self.stats.incr("dispatch_failures")
+        retry: list[InferenceRequest] = []
+        for request in batch.requests:
+            if request.retries < MAX_DISPATCH_RETRIES:
+                request.retries += 1
+                retry.append(request)
+            else:
+                self.stats.incr("requests_failed")
+                self.tracer.discard(request.trace_id)
+        if retry:
+            self.scheduler.requeue(retry)
 
     def drain(self, now: float) -> list[ServingVerdict]:
         """Force-flush everything still queued (end of replay/shutdown)."""
@@ -257,6 +348,8 @@ class InferenceServer:
                   ) -> list[ServingVerdict]:
         model = self._model_for(batch.model_key)
         generation = self.registry.record(batch.model_key).generation
+        observe = self.observability
+        forward_start = time.perf_counter() if observe else 0.0
         if batch.modality == MODALITY_BOTH:
             result = model.predict_degraded(
                 images=np.stack([r.frame for r in batch.requests]),
@@ -269,6 +362,9 @@ class InferenceServer:
                 images=np.stack([r.frame for r in batch.requests]))
         else:
             raise ServingError(f"unknown modality {batch.modality!r}")
+        combine_start = time.perf_counter() if observe else 0.0
+        if observe:
+            self._stage["forward"].observe(combine_start - forward_start)
         verdicts = []
         for index, request in enumerate(batch.requests):
             verdict = ServingVerdict(
@@ -286,12 +382,52 @@ class InferenceServer:
                 latency=now - request.submitted_at,
             )
             verdicts.append(verdict)
-            self.stats.verdicts += 1
+            self.stats.incr("verdicts")
             if verdict.degraded:
-                self.stats.degraded_verdicts += 1
+                self.stats.incr("degraded_verdicts")
             self.stats.record_latency(verdict.latency)
             session = self._sessions.get(request.session_id)
             if session is not None:
                 session.record_verdict(verdict.predicted, verdict.degraded)
                 self._outboxes[request.session_id].append(verdict)
+        if observe:
+            combine_end = time.perf_counter()
+            self._stage["combine"].observe(combine_end - combine_start)
+            queue_hist = self._stage["queue"]
+            size = len(batch.requests)
+            shards = getattr(model, "last_shards", [])
+            forward_meta = {"batch_size": size, "modality": batch.modality}
+            for index, request in enumerate(batch.requests):
+                queue_hist.observe(batch.flushed_wall - request.enqueued_wall)
+                spans = [
+                    Span("queue", request.enqueued_wall, batch.flushed_wall),
+                    Span("forward", forward_start, combine_start,
+                         forward_meta),
+                ]
+                for lo, hi, start, end in shards:
+                    if lo <= index < hi:
+                        spans.append(Span("shard", start, end,
+                                          {"lo": lo, "hi": hi}))
+                        break
+                spans.append(Span("combine", combine_start, combine_end))
+                self.tracer.complete(request.trace_id, spans)
         return verdicts
+
+    # -- observability ---------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """One merged snapshot: server series + the process registry.
+
+        Server-scoped instruments (stage latencies, scheduler, admission)
+        live on the per-server registry; nn-runtime and streaming series
+        land on the process default.  The export merges both so one
+        document answers for the whole serving path.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        if get_registry() is not self.metrics:
+            merged.merge(get_registry().snapshot())
+        return merged.snapshot()
+
+    def traces(self) -> list[dict]:
+        """JSON-safe dump of the completed-trace ring."""
+        return self.tracer.snapshot()

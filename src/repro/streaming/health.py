@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError, HealthError
+from repro.obs.metrics import get_registry
 from repro.streaming.records import SensorReading
 
 
@@ -171,6 +172,17 @@ class HealthRegistry:
         self.fault_counts: dict[str, int] = {
             "stuck": 0, "spike": 0, "dropout": 0}
         self.readings_rejected = 0
+        registry = get_registry()
+        self._obs_transitions = {
+            state: registry.counter(
+                "streaming_health_transitions_total",
+                "Agent liveness transitions by target state",
+                state=state.value)
+            for state in HealthState
+        }
+        self._obs_quarantines = registry.counter(
+            "streaming_sensor_quarantines_total",
+            "Sensor streams quarantined by the fault screen")
 
     # -- registration / liveness ---------------------------------------------
     def register(self, agent_id: str, now: float) -> None:
@@ -292,8 +304,11 @@ class HealthRegistry:
             return False
         liveness.state = target
         liveness.transitions.append((now, target))
+        self._obs_transitions[target].inc()
         return True
 
     def _quarantine(self, stream: str) -> None:
+        if stream not in self._quarantined:
+            self._obs_quarantines.inc()
         self._quarantined.add(stream)
         self._ever_quarantined.add(stream)

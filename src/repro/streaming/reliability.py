@@ -22,12 +22,14 @@ on top of two simplex channels (data out, acks back):
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ReliabilityError
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.streaming.records import FrameRecord, Message, payload_size
 from repro.streaming.transport import Channel
 
@@ -86,25 +88,66 @@ class Ack:
         return sequence <= self.cumulative or sequence in self.selective
 
 
-@dataclass
-class SenderStats:
-    """Sender-side reliability counters."""
-
-    sent: int = 0
-    retransmissions: int = 0
-    acked: int = 0
-    shed_frames: int = 0
-    shed_data: int = 0
-    abandoned: int = 0
+#: Uniquifies the ``link`` label so every endpoint owns its own series.
+_LINK_IDS = itertools.count(1)
 
 
-@dataclass
-class ReceiverStats:
-    """Receiver-side reliability counters."""
+def _link_label(base: str) -> str:
+    return f"{base}#{next(_LINK_IDS)}"
 
-    received: int = 0
-    duplicates: int = 0
-    acks_sent: int = 0
+
+class _RegistryStats:
+    """Counter bundle living in a :class:`MetricsRegistry`.
+
+    Replaces the PR-1 ad-hoc stat dataclasses: every field is a labelled
+    counter in the (by default process-wide) registry, so the reliability
+    layer shares one telemetry surface with serving and the nn runtime.
+    Field reads (``stats.sent``) keep working via ``__getattr__``, and
+    the per-instance ``link`` label keeps endpoints' series distinct.
+    """
+
+    _PREFIX = ""
+    _FIELDS: tuple[str, ...] = ()
+
+    def __init__(self, *, registry: MetricsRegistry | None = None,
+                 link: str = "link") -> None:
+        registry = registry or get_registry()
+        self.link = _link_label(link)
+        self._counters = {
+            field: registry.counter(f"{self._PREFIX}{field}_total",
+                                    link=self.link)
+            for field in self._FIELDS
+        }
+
+    def incr(self, field: str, amount: int = 1) -> None:
+        """Bump one counter (the write path for the owning endpoint)."""
+        self._counters[field].inc(amount)
+
+    def __getattr__(self, field: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if field in counters:
+            return int(counters[field].value)
+        raise AttributeError(field)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f}={int(c.value)}"
+                          for f, c in self._counters.items())
+        return f"{type(self).__name__}({inner})"
+
+
+class SenderStats(_RegistryStats):
+    """Sender-side reliability counters (registry-backed)."""
+
+    _PREFIX = "streaming_sender_"
+    _FIELDS = ("sent", "retransmissions", "acked", "shed_frames",
+               "shed_data", "abandoned")
+
+
+class ReceiverStats(_RegistryStats):
+    """Receiver-side reliability counters (registry-backed)."""
+
+    _PREFIX = "streaming_receiver_"
+    _FIELDS = ("received", "duplicates", "acks_sent")
 
 
 @dataclass
@@ -142,7 +185,9 @@ class ReliableSender:
                  base_timeout: float = 0.1, backoff: float = 2.0,
                  max_timeout: float = 1.0, jitter: float = 0.2,
                  max_attempts: int = 25, buffer_limit: int = 256,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 registry: MetricsRegistry | None = None,
+                 link: str | None = None) -> None:
         if base_timeout <= 0 or max_timeout < base_timeout:
             raise ConfigurationError(
                 "need 0 < base_timeout <= max_timeout")
@@ -162,7 +207,10 @@ class ReliableSender:
         self.max_attempts = int(max_attempts)
         self.buffer_limit = int(buffer_limit)
         self.rng = rng or np.random.default_rng()
-        self.stats = SenderStats()
+        self.stats = SenderStats(registry=registry,
+                                 link=link or data.name)
+        self._srtt_gauge = (registry or get_registry()).gauge(
+            "streaming_srtt_seconds", link=self.stats.link)
         self._pending: dict[int, _PendingEntry] = {}
         self._sequence = 0
         self._srtt: float | None = None
@@ -183,7 +231,7 @@ class ReliableSender:
             payload_class=classify_payload(payload),
             first_sent=now, next_retry=now + self._timeout(1))
         self._pending[sequence] = entry
-        self.stats.sent += 1
+        self.stats.incr("sent")
         self.data.send(source, destination,
                        ReliablePacket(sequence, payload), now)
         return sequence
@@ -201,11 +249,11 @@ class ReliableSender:
                 continue
             if entry.attempts >= self.max_attempts:
                 del self._pending[entry.sequence]
-                self.stats.abandoned += 1
+                self.stats.incr("abandoned")
                 continue
             entry.attempts += 1
             entry.next_retry = now + self._timeout(entry.attempts)
-            self.stats.retransmissions += 1
+            self.stats.incr("retransmissions")
             self.data.send(self._source, self._destination,
                            ReliablePacket(entry.sequence, entry.payload,
                                           retransmission=True), now)
@@ -240,11 +288,12 @@ class ReliableSender:
             if not ack.covers(sequence):
                 continue
             entry = self._pending.pop(sequence)
-            self.stats.acked += 1
+            self.stats.incr("acked")
             if entry.attempts == 1:  # Karn: unambiguous RTT sample
                 sample = now - entry.first_sent
                 self._srtt = (sample if self._srtt is None
                               else 0.875 * self._srtt + 0.125 * sample)
+                self._srtt_gauge.set(self._srtt)
 
     def _shed(self) -> None:
         """Evict one packet to make room: oldest frame first, then data."""
@@ -257,9 +306,9 @@ class ReliableSender:
             victim = next(iter(self._pending.values()))
         del self._pending[victim.sequence]
         if victim.payload_class is PayloadClass.FRAME:
-            self.stats.shed_frames += 1
+            self.stats.incr("shed_frames")
         else:
-            self.stats.shed_data += 1
+            self.stats.incr("shed_data")
 
 
 class ReliableReceiver:
@@ -290,17 +339,17 @@ class ReliableReceiver:
                     f"unexpected payload on data channel: "
                     f"{type(packet).__name__}")
             if self._seen(packet.sequence):
-                self.stats.duplicates += 1
+                self.stats.incr("duplicates")
                 continue
             self._mark(packet.sequence)
-            self.stats.received += 1
+            self.stats.incr("received")
             message.payload = packet.payload
             delivered.append(message)
         if arrivals:
             selective = tuple(sorted(self._above))[-MAX_SELECTIVE_ACKS:]
             self.ack.send(self.ack_source, arrivals[0].source,
                           Ack(self._cumulative, selective), now)
-            self.stats.acks_sent += 1
+            self.stats.incr("acks_sent")
         return delivered
 
     @property

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
 from repro.streaming.agent import CollectionAgent
 from repro.streaming.records import SyncMessage
 from repro.streaming.transport import Channel
@@ -58,6 +59,18 @@ class ClockSynchronizer:
         )
         self.stats = SyncStats()
         self._next_sync = 0.0
+        registry = get_registry()
+        self._obs_error = registry.gauge(
+            "streaming_clock_error_seconds",
+            "Signed residual clock error after the latest sync",
+            agent=agent.agent_id)
+        self._obs_worst = registry.gauge(
+            "streaming_clock_worst_error_seconds",
+            "Largest absolute post-sync clock error seen",
+            agent=agent.agent_id)
+        self._obs_syncs = registry.counter(
+            "streaming_clock_syncs_applied_total",
+            "Sync messages the agent applied", agent=agent.agent_id)
 
     def step(self, true_time: float, master_time: float) -> None:
         """Push a sync if due, then deliver any pending syncs to the agent.
@@ -76,7 +89,11 @@ class ClockSynchronizer:
             if isinstance(message.payload, SyncMessage):
                 self.agent.handle_sync(message.payload, self.latency_estimate)
                 self.stats.syncs_applied += 1
-                self.stats.errors_after_sync.append(self.agent.clock.error())
+                error = self.agent.clock.error()
+                self.stats.errors_after_sync.append(error)
+                self._obs_syncs.inc()
+                self._obs_error.set(error)
+                self._obs_worst.set_max(abs(error))
 
     def worst_residual_error(self) -> float:
         """Largest absolute post-sync error seen so far (0 if never synced)."""

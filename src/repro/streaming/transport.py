@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError, TransportError
+from repro.obs.metrics import get_registry
 from repro.streaming.records import Message, payload_size
 
 #: How many recent latency samples :class:`ChannelStats` retains.
@@ -97,6 +98,14 @@ class Channel:
         self.stats = ChannelStats()
         self._in_flight: list[tuple[float, int, Message]] = []
         self._sequence = 0
+        # Registry-side telemetry (shared across channels with one name).
+        registry = get_registry()
+        self._obs_latency = registry.histogram(
+            "streaming_channel_latency_seconds",
+            "One-way delivery latency per channel", channel=name)
+        self._obs_dropped = registry.counter(
+            "streaming_channel_dropped_total",
+            "Messages lost in transit per channel", channel=name)
 
     def transit_delay(self, size_bytes: int) -> float:
         """Draw the one-way delay for a message of ``size_bytes``."""
@@ -118,6 +127,7 @@ class Channel:
         self.stats.bytes_sent += size
         if self.drop_probability and self.rng.random() < self.drop_probability:
             self.stats.dropped += 1
+            self._obs_dropped.inc()
             return None
         message = Message(source=source, destination=destination,
                           payload=payload, sent_at=now, size_bytes=size,
@@ -139,6 +149,7 @@ class Channel:
             self.stats.delivered += 1
             self.stats.bytes_delivered += message.size_bytes
             self.stats.record_latency(message.latency)
+            self._obs_latency.observe(message.latency)
             delivered.append(message)
         return delivered
 

@@ -6,6 +6,22 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _fresh_metrics_registry():
+    """Give every test an empty process-default metrics registry.
+
+    Instrumented modules (transport, health, workspace…) record into the
+    process registry as a side effect; without this reset, counts would
+    leak across tests and exact-value assertions would depend on
+    execution order.
+    """
+    from repro.obs.metrics import reset_registry
+
+    reset_registry()
+    yield
+    reset_registry()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic generator, fresh per test."""

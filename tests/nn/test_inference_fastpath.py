@@ -21,12 +21,19 @@ from repro.nn import (
     BidirectionalLSTM,
     Conv2D,
     Dense,
+    Dropout,
+    Flatten,
     GlobalAvgPool2D,
     LeakyReLU,
     MaxPool2D,
+    ParallelBranches,
     ReLU,
+    Reshape,
+    Residual,
+    Sequential,
     Sigmoid,
     Softmax,
+    Tanh,
     Workspace,
     assert_float32,
     fast_path_enabled,
@@ -75,7 +82,7 @@ def test_pool_fast_path_matches_reference(rng, cls, pool, stride, padding):
 
 
 @pytest.mark.parametrize("cls", [GlobalAvgPool2D, Dense, BatchNorm, ReLU,
-                                 LeakyReLU, Sigmoid, Softmax])
+                                 LeakyReLU, Sigmoid, Softmax, Tanh])
 def test_pointwise_layers_match_reference(rng, cls):
     if cls is GlobalAvgPool2D:
         layer, x = cls(), rng.standard_normal((3, 6, 7, 7))
@@ -97,6 +104,61 @@ def test_recurrent_fast_path_matches_reference(rng, cls, return_sequences):
     layer = cls(12, 8, return_sequences=return_sequences, rng=rng)
     x = rng.standard_normal((5, 9, 12)).astype(np.float32)
     _check_parity(layer, x)
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.3, 0.9])
+def test_dropout_eval_is_identity_on_both_paths(rng, rate):
+    layer = Dropout(rate, rng=rng)
+    x = rng.standard_normal((6, 9)).astype(np.float32)
+    out = _check_parity(layer, x)
+    np.testing.assert_array_equal(out, x)
+
+
+def test_flatten_fast_path_matches_reference(rng):
+    layer = Flatten()
+    x = rng.standard_normal((4, 3, 5, 5)).astype(np.float32)
+    out = _check_parity(layer, x)
+    assert out.shape == (4, 75)
+
+
+def test_reshape_fast_path_matches_reference(rng):
+    layer = Reshape((3, 25))
+    x = rng.standard_normal((4, 75)).astype(np.float32)
+    out = _check_parity(layer, x)
+    assert out.shape == (4, 3, 25)
+
+
+def test_parallel_branches_fast_path_matches_reference(rng):
+    layer = ParallelBranches([
+        Sequential([Conv2D(3, 4, 1, rng=rng), ReLU()]),
+        Sequential([Conv2D(3, 2, 3, padding="same", rng=rng)]),
+    ])
+    x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+    out = _check_parity(layer, x)
+    assert out.shape == (2, 6, 8, 8)  # channel concat of 4 + 2
+
+
+def test_residual_fast_path_matches_reference(rng):
+    layer = Residual(Sequential([Dense(10, 10, rng=rng), Tanh()]))
+    x = rng.standard_normal((5, 10)).astype(np.float32)
+    _check_parity(layer, x)
+
+
+def test_sequential_composite_fast_path_matches_reference(rng):
+    model = Sequential([
+        Conv2D(1, 4, 3, padding="same", rng=rng),
+        BatchNorm(4),
+        ReLU(),
+        MaxPool2D(2, stride=2),
+        Dropout(0.5, rng=rng),
+        Flatten(),
+        Dense(4 * 4 * 4, 6, rng=rng),
+        Softmax(),
+    ])
+    x = rng.standard_normal((3, 1, 8, 8)).astype(np.float32)
+    model.set_training(True)
+    model.forward(x)  # accumulate BatchNorm running stats
+    _check_parity(model, x)
 
 
 def test_fast_path_skips_backward_caches(rng):

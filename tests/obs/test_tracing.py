@@ -1,0 +1,137 @@
+"""Unit tests for the span tracer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.tracing import Span, Trace, Tracer
+
+
+class TestSpanTrace:
+    def test_span_duration_and_dict(self):
+        span = Span("queue", 1.0, 1.25, {"batch": 4})
+        assert span.duration == 0.25
+        payload = span.to_dict()
+        assert payload["name"] == "queue"
+        assert payload["duration_s"] == 0.25
+        assert payload["meta"] == {"batch": 4}
+
+    def test_trace_duration_sums_spans(self):
+        trace = Trace("t1", "verdict", spans=[
+            Span("a", 0.0, 0.1), Span("b", 0.5, 0.7)])
+        assert trace.duration == 0.30000000000000004 or \
+            abs(trace.duration - 0.3) < 1e-12
+
+    def test_format_mentions_id_and_spans(self):
+        trace = Trace("t9", "verdict/drv-1", spans=[Span("queue", 0, 0.01)])
+        text = trace.format()
+        assert "t9" in text
+        assert "queue" in text
+        assert "[incomplete]" in text
+        trace.complete = True
+        assert "[incomplete]" not in trace.format()
+
+
+class TestTracerLifecycle:
+    def test_start_record_finish(self):
+        tracer = Tracer()
+        trace_id = tracer.start("verdict/drv-0")
+        assert trace_id is not None
+        tracer.record(trace_id, "queue", 0.0, 0.01, depth=3)
+        tracer.finish(trace_id)
+        done = tracer.last_completed()
+        assert done is not None
+        assert done.complete
+        assert [span.name for span in done.spans] == ["queue"]
+        assert done.spans[0].meta == {"depth": 3}
+        assert tracer.active_count == 0
+
+    def test_ids_are_unique_and_ordered(self):
+        tracer = Tracer()
+        ids = [tracer.start("x") for _ in range(5)]
+        assert len(set(ids)) == 5
+        assert ids == sorted(ids)
+
+    def test_span_context_manager_times_the_block(self):
+        tracer = Tracer()
+        trace_id = tracer.start("x")
+        with tracer.span(trace_id, "work", shard=0):
+            time.sleep(0.002)
+        tracer.finish(trace_id)
+        span = tracer.last_completed().spans[0]
+        assert span.name == "work"
+        assert span.duration >= 0.002
+        assert span.meta == {"shard": 0}
+
+    def test_discard_drops_without_archiving(self):
+        tracer = Tracer()
+        trace_id = tracer.start("x")
+        tracer.discard(trace_id)
+        assert tracer.active_count == 0
+        assert tracer.completed() == []
+
+    def test_record_on_unknown_or_finished_trace_is_ignored(self):
+        tracer = Tracer()
+        tracer.record("t999999", "ghost", 0.0, 1.0)
+        trace_id = tracer.start("x")
+        tracer.finish(trace_id)
+        tracer.record(trace_id, "late", 0.0, 1.0)
+        assert tracer.last_completed().spans == []
+
+    def test_complete_appends_spans_after_existing_and_finishes(self):
+        tracer = Tracer()
+        trace_id = tracer.start("verdict/drv-0")
+        tracer.record(trace_id, "admission", 0.0, 0.001)
+        tracer.complete(trace_id, [
+            Span("queue", 0.001, 0.01),
+            Span("forward", 0.01, 0.02, {"batch_size": 4}),
+        ])
+        done = tracer.last_completed()
+        assert done.complete
+        assert [span.name for span in done.spans] == \
+            ["admission", "queue", "forward"]
+        assert done.spans[2].meta == {"batch_size": 4}
+        assert tracer.active_count == 0
+
+    def test_complete_on_unknown_none_or_disabled_is_noop(self):
+        tracer = Tracer()
+        tracer.complete("t999999", [Span("ghost", 0.0, 1.0)])
+        tracer.complete(None, [Span("ghost", 0.0, 1.0)])
+        assert tracer.completed() == []
+        disabled = Tracer(enabled=False)
+        disabled.complete("t000001", [Span("ghost", 0.0, 1.0)])
+        assert disabled.completed() == []
+
+    def test_completed_ring_is_bounded(self):
+        tracer = Tracer(max_traces=3)
+        for index in range(10):
+            trace_id = tracer.start(f"n{index}")
+            tracer.finish(trace_id)
+        completed = tracer.completed()
+        assert len(completed) == 3
+        assert [trace.name for trace in completed] == ["n7", "n8", "n9"]
+
+    def test_snapshot_is_json_shaped(self):
+        tracer = Tracer()
+        trace_id = tracer.start("verdict/s")
+        tracer.record(trace_id, "queue", 0.0, 0.5)
+        tracer.finish(trace_id)
+        (payload,) = tracer.snapshot()
+        assert payload["complete"] is True
+        assert payload["spans"][0]["name"] == "queue"
+        assert payload["duration_s"] == 0.5
+
+
+class TestDisabledTracer:
+    def test_everything_is_a_noop(self):
+        tracer = Tracer(enabled=False)
+        trace_id = tracer.start("x")
+        assert trace_id is None
+        tracer.record(trace_id, "a", 0.0, 1.0)
+        with tracer.span(trace_id, "b"):
+            pass
+        tracer.finish(trace_id)
+        tracer.discard(trace_id)
+        assert tracer.active_count == 0
+        assert tracer.completed() == []
+        assert tracer.last_completed() is None

@@ -62,6 +62,36 @@ def test_tiny_batch_avoids_the_pool(serving_ensemble, tiny_driving_dataset):
     np.testing.assert_array_equal(direct.probabilities, pooled.probabilities)
 
 
+def test_pooled_executor_reports_shard_telemetry(serving_ensemble,
+                                                 tiny_driving_dataset):
+    """Shard intervals, the shard histogram, and worker-registry merge."""
+    from repro.obs.metrics import get_registry
+
+    images = tiny_driving_dataset.images[:10]
+    windows = tiny_driving_dataset.imu[:10]
+    with ParallelExecutor(serving_ensemble, workers=2) as executor:
+        executor.predict_degraded(images=images, imu=windows)
+        shards = list(executor.last_shards)
+    assert [(lo, hi) for lo, hi, _, _ in shards] == [(0, 5), (5, 10)]
+    assert all(end >= start for _, _, start, end in shards)
+    registry = get_registry()
+    shard_hist = registry.get("serving_executor_shard_seconds")
+    assert shard_hist is not None and shard_hist.count == 2
+    # The workers' own telemetry (workspace reuse counted inside the
+    # forked processes) drained back and merged into the parent registry.
+    misses = registry.get("nn_workspace_misses_total")
+    assert misses is not None and misses.value > 0
+
+
+def test_in_process_fallback_leaves_no_shards(serving_ensemble,
+                                              tiny_driving_dataset):
+    with ParallelExecutor(serving_ensemble, workers=2) as executor:
+        executor.predict_degraded(
+            images=tiny_driving_dataset.images[:1],
+            imu=tiny_driving_dataset.imu[:1])
+        assert executor.last_shards == []
+
+
 def test_close_is_idempotent(serving_ensemble):
     executor = ParallelExecutor(serving_ensemble, workers=2)
     executor.close()
