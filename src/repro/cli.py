@@ -8,7 +8,10 @@ Subcommands mirror the system's lifecycle:
 * ``reproduce`` — run a paper table/figure experiment and print the
   paper-vs-measured report.
 * ``chaos``     — run the scripted fault-injection drive and print the
-  fault-tolerance report.
+  fault-tolerance report; ``--serving`` runs the serving-tier scenario
+  (shard kills, executor hangs, sink blackhole, journal disk full)
+  against the shard supervisor instead.  Both modes exit non-zero when
+  a chaos invariant is violated, so CI can gate on them.
 * ``serve``     — run the micro-batched inference server; ``--replay``
   pushes N concurrent scripted drives through it and prints a
   throughput/latency report plus the metrics snapshot and a sample
@@ -125,7 +128,56 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_or_train_model(args: argparse.Namespace):
+    """A saved ensemble from ``--model``, or a tiny throwaway one."""
+    if getattr(args, "model", None):
+        from repro.core import load_ensemble
+
+        print(f"Loading ensemble from {args.model}...")
+        return load_ensemble(args.model)
+    from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+    from repro.datasets import generate_driving_dataset
+
+    rng = np.random.default_rng(args.seed)
+    print(f"No --model given; training a small throwaway ensemble "
+          f"({args.train_samples} samples, {args.train_epochs} "
+          f"epoch(s))...")
+    dataset = generate_driving_dataset(args.train_samples, rng=rng)
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=args.train_epochs),
+        rnn_config=RnnConfig(epochs=2 * args.train_epochs), rng=rng)
+    ensemble.fit(dataset)
+    return ensemble
+
+
+def _cmd_serving_chaos(args: argparse.Namespace) -> int:
+    from repro.serving import run_serving_chaos
+
+    ensemble = _load_or_train_model(args)
+    print(f"Running serving chaos: {args.drivers} drivers on "
+          f"{args.shards} shards, {args.duration:.0f} s drive "
+          f"(seed {args.seed})...")
+    report = run_serving_chaos(
+        ensemble, shards=args.shards, drivers=args.drivers,
+        duration=args.duration, seed=args.seed)
+    print()
+    print(report.format_report())
+    if args.metrics_out:
+        from repro.obs import bundle, save_snapshot
+
+        save_snapshot(bundle(report.metrics, []), args.metrics_out)
+        print(f"\nSnapshot saved to {args.metrics_out} "
+              f"(inspect with `repro stats {args.metrics_out}`)")
+    if report.violations:
+        print(f"\nCHAOS FAILED: {len(report.violations)} invariant "
+              f"violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.serving:
+        return _cmd_serving_chaos(args)
     from repro.streaming import run_chaos_drive
 
     print(f"Running the scripted chaos drive ({args.duration:.0f} s, "
@@ -166,6 +218,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"{flag}")
     print(f"\n{report.degraded_windows}/{len(report.windows)} windows "
           f"degraded; every window still receives a verdict.")
+    if report.violations:
+        print(f"\nCHAOS FAILED: {len(report.violations)} invariant "
+              f"violation(s)", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -177,24 +235,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "pass --replay to run N concurrent scripted drives "
               "through the inference server.")
         return 2
-    if args.model:
-        from repro.core import load_ensemble
-
-        print(f"Loading ensemble from {args.model}...")
-        ensemble = load_ensemble(args.model)
-    else:
-        from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
-        from repro.datasets import generate_driving_dataset
-
-        rng = np.random.default_rng(args.seed)
-        print(f"No --model given; training a small throwaway ensemble "
-              f"({args.train_samples} samples, {args.train_epochs} "
-              f"epoch(s))...")
-        dataset = generate_driving_dataset(args.train_samples, rng=rng)
-        ensemble = DarNetEnsemble(
-            "cnn+rnn", cnn_config=CnnConfig(epochs=args.train_epochs),
-            rnn_config=RnnConfig(epochs=2 * args.train_epochs), rng=rng)
-        ensemble.fit(dataset)
+    ensemble = _load_or_train_model(args)
     print(f"Replaying {args.drivers} concurrent scripted drives "
           f"({args.duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
           f"deadline {args.deadline_ms:.0f} ms, {args.workers} worker(s), "
@@ -284,9 +325,27 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.set_defaults(func=_cmd_reproduce)
 
     chaos = sub.add_parser("chaos",
-                           help="run the scripted fault-injection drive")
+                           help="run the scripted fault-injection drive; "
+                                "exits non-zero on invariant violations")
     chaos.add_argument("--duration", type=float, default=30.0)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--serving", action="store_true",
+                       help="run serving-tier chaos (shard kills, "
+                            "executor hangs, sink blackhole, full disk) "
+                            "against the shard supervisor instead of the "
+                            "streaming stack")
+    chaos.add_argument("--shards", type=int, default=3,
+                       help="serving mode: shards in the supervised fleet")
+    chaos.add_argument("--drivers", type=int, default=6,
+                       help="serving mode: concurrent driver sessions")
+    chaos.add_argument("--model", default=None,
+                       help="serving mode: saved ensemble directory "
+                            "(trains a tiny throwaway model when omitted)")
+    chaos.add_argument("--train-samples", type=int, default=120)
+    chaos.add_argument("--train-epochs", type=int, default=1)
+    chaos.add_argument("--metrics-out", default=None,
+                       help="serving mode: write the supervisor metrics "
+                            "snapshot to this JSON file")
     chaos.set_defaults(func=_cmd_chaos)
 
     serve = sub.add_parser(

@@ -54,3 +54,15 @@ class HealthError(StreamingError):
 
 class ServingError(ReproError):
     """The inference-serving subsystem was asked for something impossible."""
+
+
+class ShardUnavailableError(ServingError):
+    """A serving shard is dead or unreachable (simulated connection refused)."""
+
+
+class ShardTimeoutError(ServingError):
+    """A serving shard accepted a call but never answered (hung executor)."""
+
+
+class JournalError(ServingError):
+    """The durable verdict journal is unusable (corrupt header, bad path)."""

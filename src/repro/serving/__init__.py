@@ -6,15 +6,48 @@ micro-batching scheduler coalesces many sessions' verdict requests into
 single vectorized forward passes, a model registry routes each session to
 the variant matching its privacy level (with lazy loading and hot swap),
 and admission control keeps the whole thing bounded under overload.
+
+The resilience layer makes the tier survive its own infrastructure: a
+shard supervisor runs N servers behind a consistent-hash router with
+heartbeat watchdogs, exponential-backoff restarts and checkpoint-based
+session migration; a durable verdict journal (append-only, CRC-framed,
+fsync-batched) plus a store-and-forward sink guarantee every admitted
+(driver, window) is delivered exactly once or journaled as deferred; and
+a serving chaos harness proves all of it under scripted shard kills,
+executor hangs, sink blackholes and full disks.
 """
 
-from repro.exceptions import ServingError
+from repro.exceptions import (
+    JournalError,
+    ServingError,
+    ShardTimeoutError,
+    ShardUnavailableError,
+)
 from repro.serving.admission import (
     AdmissionController,
     AdmissionDecision,
     AdmissionStats,
 )
+from repro.serving.chaos import (
+    ServingChaosHarness,
+    ServingChaosReport,
+    run_serving_chaos,
+    standard_serving_schedule,
+)
+from repro.serving.checkpoint import (
+    CheckpointStore,
+    SessionCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.serving.executor import ParallelExecutor, default_worker_count
+from repro.serving.journal import (
+    JournalReplay,
+    StoreAndForwardSink,
+    VerdictJournal,
+    VerdictRecord,
+    replay_journal,
+)
 from repro.serving.registry import ModelRecord, ServingModelRegistry
 from repro.serving.replay import (
     DriverTrace,
@@ -40,9 +73,16 @@ from repro.serving.sessions import (
     SessionCounters,
     StreamState,
 )
+from repro.serving.supervisor import (
+    HashRing,
+    MigrationEvent,
+    ShardHandle,
+    ShardSupervisor,
+)
 
 __all__ = [
-    "ServingError",
+    "ServingError", "ShardUnavailableError", "ShardTimeoutError",
+    "JournalError",
     "DriverSession", "SessionCounters", "StreamState", "IMU_FEATURES",
     "ALERT_ADJACENT_BOOST", "DEGRADED_BOOST",
     "InferenceRequest", "MicroBatch", "MicroBatchScheduler",
@@ -53,4 +93,11 @@ __all__ = [
     "ParallelExecutor", "default_worker_count",
     "ReplayReport", "DriverTrace", "replay_concurrent_drives",
     "synthesize_trace",
+    "VerdictJournal", "VerdictRecord", "JournalReplay", "replay_journal",
+    "StoreAndForwardSink",
+    "SessionCheckpoint", "CheckpointStore", "save_checkpoint",
+    "load_checkpoint",
+    "ShardSupervisor", "ShardHandle", "HashRing", "MigrationEvent",
+    "ServingChaosHarness", "ServingChaosReport", "run_serving_chaos",
+    "standard_serving_schedule",
 ]

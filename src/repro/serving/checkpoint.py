@@ -1,0 +1,163 @@
+"""Session checkpoint/restore: periodic snapshots of per-driver state.
+
+A shard that dies takes its in-memory :class:`~.sessions.DriverSession`
+objects with it — the trailing IMU ring, the latest frame, the request
+sequence.  Without checkpoints, a migrated driver cold-starts: no window
+until 20 fresh samples arrive, no alert-adjacency, a reset sequence that
+breaks (driver, window) verdict identity.  The checkpoint store closes
+that gap: the supervisor snapshots each session on an interval, and a
+restarted or adopting shard restores the *last checkpoint* — resuming
+mid-drive with a bit-exact ring buffer instead of silence.
+
+Snapshots are taken via :meth:`DriverSession.export_state` (arrays
+copied, crash-consistent) and restored via
+:meth:`DriverSession.from_state`.  The store is in-memory by default —
+the supervisor outlives its shards — with optional ``directory``
+persistence (one ``.npz`` per session) so a full serving-process restart
+can also resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.serving.sessions import DriverSession
+
+#: export_state keys that are numpy arrays (persisted as npz members).
+_ARRAY_KEYS = ("buffer", "latest_frame")
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """One timestamped snapshot of one driver session."""
+
+    session_id: str
+    taken_at: float
+    state: dict
+
+    def restore(self) -> DriverSession:
+        """A fresh session carrying this checkpoint's exact state."""
+        return DriverSession.from_state(self.state)
+
+
+def save_checkpoint(path: str, checkpoint: SessionCheckpoint) -> None:
+    """Persist one checkpoint as an ``.npz`` (arrays + JSON metadata)."""
+    meta = {k: v for k, v in checkpoint.state.items()
+            if k not in _ARRAY_KEYS}
+    arrays = {"buffer": checkpoint.state["buffer"]}
+    frame = checkpoint.state.get("latest_frame")
+    if frame is not None:
+        arrays["latest_frame"] = frame
+    np.savez(path, meta=json.dumps({"taken_at": checkpoint.taken_at,
+                                    "state": meta}),
+             **arrays)
+
+
+def load_checkpoint(path: str) -> SessionCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as archive:
+        document = json.loads(str(archive["meta"]))
+        state = document["state"]
+        state["buffer"] = np.asarray(archive["buffer"], dtype=np.float64)
+        state["latest_frame"] = (
+            np.asarray(archive["latest_frame"], dtype=np.float32)
+            if "latest_frame" in archive.files else None)
+    return SessionCheckpoint(session_id=state["session_id"],
+                             taken_at=float(document["taken_at"]),
+                             state=state)
+
+
+class CheckpointStore:
+    """Latest-wins checkpoint registry with interval-driven refresh.
+
+    Args:
+        interval: simulation seconds between snapshots of one session
+            (``due`` answers whether a session's snapshot has aged out).
+        directory: when set, every checkpoint is also persisted as
+            ``<directory>/<session_id>.npz`` and ``load_directory`` can
+            rebuild the store after a process restart.
+    """
+
+    def __init__(self, *, interval: float = 1.0,
+                 directory: str | None = None) -> None:
+        if interval <= 0:
+            raise ConfigurationError("checkpoint interval must be positive")
+        self.interval = float(interval)
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self._latest: dict[str, SessionCheckpoint] = {}
+        self.taken = 0
+        self.restored = 0
+
+    # -- snapshot --------------------------------------------------------
+    def due(self, session_id: str, now: float) -> bool:
+        """Whether this session's checkpoint has aged past the interval."""
+        checkpoint = self._latest.get(session_id)
+        return checkpoint is None or now - checkpoint.taken_at >= self.interval
+
+    def take(self, session: DriverSession, now: float) -> SessionCheckpoint:
+        """Snapshot a live session (unconditionally; see :meth:`due`)."""
+        checkpoint = SessionCheckpoint(session_id=session.session_id,
+                                       taken_at=float(now),
+                                       state=session.export_state())
+        self._latest[session.session_id] = checkpoint
+        self.taken += 1
+        if self.directory is not None:
+            save_checkpoint(self._path(session.session_id), checkpoint)
+        return checkpoint
+
+    def maybe_take(self, session: DriverSession,
+                   now: float) -> SessionCheckpoint | None:
+        """Snapshot only when the interval has elapsed."""
+        if self.due(session.session_id, now):
+            return self.take(session, now)
+        return None
+
+    # -- restore ---------------------------------------------------------
+    def latest(self, session_id: str) -> SessionCheckpoint | None:
+        """The most recent checkpoint for a session, if any."""
+        return self._latest.get(session_id)
+
+    def restore(self, session_id: str) -> DriverSession | None:
+        """A fresh session restored from the latest checkpoint."""
+        checkpoint = self._latest.get(session_id)
+        if checkpoint is None:
+            return None
+        self.restored += 1
+        return checkpoint.restore()
+
+    def discard(self, session_id: str) -> None:
+        """Forget a closed session's checkpoint (and its on-disk file)."""
+        self._latest.pop(session_id, None)
+        if self.directory is not None:
+            try:
+                os.remove(self._path(session_id))
+            except OSError:
+                pass
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Sessions with at least one checkpoint."""
+        return sorted(self._latest)
+
+    def load_directory(self) -> int:
+        """Rebuild the in-memory store from persisted ``.npz`` files."""
+        if self.directory is None:
+            return 0
+        loaded = 0
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".npz"):
+                continue
+            checkpoint = load_checkpoint(os.path.join(self.directory, name))
+            self._latest[checkpoint.session_id] = checkpoint
+            loaded += 1
+        return loaded
+
+    def _path(self, session_id: str) -> str:
+        return os.path.join(self.directory, f"{session_id}.npz")

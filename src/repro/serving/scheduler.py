@@ -21,6 +21,7 @@ here).
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -54,6 +55,11 @@ class InferenceRequest:
     trace_id: str | None = None
     enqueued_wall: float = 0.0
     retries: int = 0
+    #: Request-level deadline in simulation time: past this instant the
+    #: request must not be dispatched — it is popped via
+    #: :meth:`MicroBatchScheduler.pop_expired` and handed to the server's
+    #: degradation ladder instead of silently rotting in the queue.
+    expires_at: float = math.inf
 
     @property
     def modality(self) -> str:
@@ -110,7 +116,7 @@ class SchedulerStats:
             name: registry.counter(f"serving_scheduler_{name}_total",
                                    sched=label)
             for name in ("submitted", "rejected", "shed", "requeued",
-                         "batches", "dispatched")
+                         "batches", "dispatched", "expired")
         }
         self._batch_size = registry.histogram(
             "serving_batch_size", "Requests per flushed micro-batch",
@@ -244,6 +250,13 @@ class MicroBatchScheduler:
         fault into silent data loss) and is *not* re-counted as
         submitted, so the accounting identity
         ``submitted == dispatched + shed + queued`` still holds.
+
+        Head-of-line standing is preserved by ``retries``, not insert
+        position: :meth:`flush` sorts retried requests ahead of fresh
+        ones regardless of priority, and :meth:`_shed_lowest` victimizes
+        fresh requests first — a retried request held its queue slot
+        once already; a newly arrived higher-priority batch must not
+        reorder (or shed) it into a second delay.
         """
         with self._lock:
             for request in requests:
@@ -252,18 +265,48 @@ class MicroBatchScheduler:
                 self.stats.incr("requeued")
             self.stats.record_depth(self.depth)
 
+    def pop_expired(self, now: float) -> list[InferenceRequest]:
+        """Remove and return every queued request past its deadline.
+
+        A request whose ``expires_at`` has passed would deliver a
+        verdict about a window the driver has already left; dispatching
+        it wastes a batch slot and silently dropping it loses the
+        window.  The server pops expired requests each step and routes
+        them down the degradation ladder (journal-and-defer) instead.
+        """
+        expired: list[InferenceRequest] = []
+        with self._lock:
+            for group in list(self._queues):
+                queue = self._queues[group]
+                keep = [r for r in queue if r.expires_at > now]
+                if len(keep) != len(queue):
+                    expired.extend(r for r in queue if r.expires_at <= now)
+                    if keep:
+                        self._queues[group] = keep
+                    else:
+                        del self._queues[group]
+            if expired:
+                self.stats.incr("expired", len(expired))
+                self.stats.record_depth(self.depth)
+        return expired
+
     def _shed_lowest(self) -> None:
         with self._lock:
             victim_group: tuple[str, str] | None = None
             victim_index = -1
-            victim_priority = np.inf
+            victim_key = (np.inf, np.inf)
             for group, queue in self._queues.items():
                 for index, request in enumerate(queue):
-                    # Strict < keeps the earliest submission among equals,
-                    # so the oldest of the lowest class is shed first.
-                    if request.priority < victim_priority:
+                    # Retried requests are shed last (they were admitted
+                    # once; shedding them now would silently lose work
+                    # the failure-recovery path promised to retry), and
+                    # strict < keeps the earliest submission among
+                    # equals, so the oldest of the lowest class goes
+                    # first.
+                    key = (request.retries, request.priority)
+                    if key < victim_key:
                         victim_group, victim_index = group, index
-                        victim_priority = request.priority
+                        victim_key = key
             if victim_group is not None:
                 victim = self._queues[victim_group].pop(victim_index)
                 self.stats.incr("shed")
@@ -285,10 +328,12 @@ class MicroBatchScheduler:
     def flush(self, now: float, *, force: bool = False) -> list[MicroBatch]:
         """Pop every due group (all groups when ``force``) as batches.
 
-        Within a group, higher-priority requests dispatch first (stable
-        for equal priorities, preserving submission order), so when a
-        group spans multiple batches the alert-adjacent sessions ride in
-        the first one.
+        Within a group, retried requests dispatch first — a request
+        surviving a failed batch keeps its head-of-line standing even
+        against a newly arrived higher-priority batch — then
+        higher-priority requests (stable for equal priorities,
+        preserving submission order), so when a group spans multiple
+        batches the alert-adjacent sessions ride in the first one.
 
         The lock is held only while due batches are popped off the
         queues; the caller runs the forward pass on the returned batches
@@ -301,7 +346,7 @@ class MicroBatchScheduler:
             for group in list(self._queues):
                 queue = self._queues[group]
                 while queue and (force or self._group_due(queue, now)):
-                    queue.sort(key=lambda r: -r.priority)
+                    queue.sort(key=lambda r: (-r.retries, -r.priority))
                     take, rest = queue[:self.max_batch], queue[self.max_batch:]
                     self._queues[group] = queue = rest
                     batch = MicroBatch(model_key=group[0], modality=group[1],

@@ -20,6 +20,7 @@ is the whole point of the PR-1 degraded-mode path.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass
 
@@ -87,7 +88,7 @@ class ServerStats:
             name: registry.counter(f"serving_{name}_total", server=label)
             for name in ("requests", "verdicts", "degraded_verdicts",
                          "rejected", "unservable", "dispatch_failures",
-                         "requests_failed")
+                         "requests_failed", "requests_expired")
         }
         self._latency = registry.histogram(
             "serving_verdict_latency_seconds",
@@ -166,9 +167,17 @@ class InferenceServer:
             for stage in ("admission", "queue", "forward", "combine")
         }
         self.last_dispatch_error: BaseException | None = None
+        #: Called with each deadline-expired request popped from the
+        #: queue (the supervisor's journal-and-defer ladder rung);
+        #: expiry is still counted and traced when the hook is unset.
+        self.on_expire = None
         # Shed requests must not leave orphaned active traces behind.
         self.scheduler.on_evict = \
             lambda request: self.tracer.discard(request.trace_id)
+        # Session admission/eviction is check-then-act over shared dicts;
+        # the lock keeps concurrent open/close callers from double
+        # admitting past the cap or leaking an outbox.
+        self._session_lock = threading.Lock()
         self._sessions: dict[str, DriverSession] = {}
         self._outboxes: dict[str, list[ServingVerdict]] = {}
         self._executors: dict[str, ParallelExecutor] = {}
@@ -196,26 +205,47 @@ class InferenceServer:
                      session_id: str | None = None,
                      base_priority: float = 0.0) -> str:
         """Open a driver session; raises :class:`ServingError` when full."""
-        decision = self.admission.admit_session(len(self._sessions))
-        if decision is not AdmissionDecision.ADMIT:
-            raise ServingError(
-                f"session admission rejected: {decision.value} "
-                f"({len(self._sessions)} open)")
         session_id = session_id or f"drv-{driver_id}"
-        if session_id in self._sessions:
-            raise ServingError(f"session {session_id!r} already open")
-        self._sessions[session_id] = DriverSession(
+        session = DriverSession(
             session_id=session_id, driver_id=int(driver_id),
             privacy=privacy, window_steps=self.window_steps,
             base_priority=base_priority)
-        self._outboxes[session_id] = []
+        self._install_session(session)
         return session_id
+
+    def adopt_session(self, session: DriverSession) -> str:
+        """Install an externally built session (checkpoint migration).
+
+        The supervisor's failover path: a session restored from a dead
+        shard's checkpoint — ring buffer, sequence and counters intact —
+        joins this server subject to the same admission cap as a fresh
+        open, so migration cannot stampede a survivor past its
+        provisioned bound.
+        """
+        self._install_session(session)
+        return session.session_id
+
+    def _install_session(self, session: DriverSession) -> None:
+        with self._session_lock:
+            decision = self.admission.admit_session(len(self._sessions))
+            if decision is not AdmissionDecision.ADMIT:
+                raise ServingError(
+                    f"session admission rejected: {decision.value} "
+                    f"({len(self._sessions)} open)")
+            if session.session_id in self._sessions:
+                raise ServingError(
+                    f"session {session.session_id!r} already open")
+            self._sessions[session.session_id] = session
+            self._outboxes[session.session_id] = []
 
     def close_session(self, session_id: str) -> DriverSession:
         """Close a session, returning its final state (with counters)."""
-        session = self.session(session_id)
-        del self._sessions[session_id]
-        self._outboxes.pop(session_id, None)
+        with self._session_lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise ServingError(f"no open session {session_id!r}")
+            del self._sessions[session_id]
+            self._outboxes.pop(session_id, None)
         return session
 
     # -- ingest ----------------------------------------------------------
@@ -230,13 +260,16 @@ class InferenceServer:
         self.session(session_id).ingest_frame(timestamp, image)
 
     # -- request path ----------------------------------------------------
-    def request_verdict(self, session_id: str, now: float) -> bool:
+    def request_verdict(self, session_id: str, now: float, *,
+                        expires_at: float | None = None) -> bool:
         """Ask for a verdict at instant ``now``; True if queued.
 
         The request carries whatever streams are currently LIVE: a stale
         or dead camera yields an IMU-only (degraded) request and vice
         versa.  Returns False when nothing is servable or admission /
-        the queue turned the request away.
+        the queue turned the request away.  ``expires_at`` sets the
+        request-level deadline: past it the request is popped from the
+        queue and handed to :attr:`on_expire` instead of dispatched.
         """
         session = self.session(session_id)
         self.stats.incr("requests")
@@ -263,7 +296,9 @@ class InferenceServer:
             session_id=session_id, sequence=session.next_sequence(),
             submitted_at=now, deadline=now + self.scheduler.max_delay,
             priority=priority, model_key=self.registry.route(session.privacy),
-            window=window, frame=frame, trace_id=trace_id)
+            window=window, frame=frame, trace_id=trace_id,
+            expires_at=(float("inf") if expires_at is None
+                        else float(expires_at)))
         if not self.scheduler.submit(request, now):
             self.stats.incr("rejected")
             self.tracer.discard(trace_id)
@@ -279,8 +314,15 @@ class InferenceServer:
         does not vanish silently: the failure lands on a counter, fresh
         requests go back to the queue for one retry, and requests that
         already burned their retry are failed explicitly (counted, trace
-        discarded).
+        discarded).  Deadline-expired requests are popped before
+        flushing and handed to :attr:`on_expire` — counted, traced,
+        never silently dropped.
         """
+        for request in self.scheduler.pop_expired(now):
+            self.stats.incr("requests_expired")
+            self.tracer.discard(request.trace_id)
+            if self.on_expire is not None:
+                self.on_expire(request)
         verdicts: list[ServingVerdict] = []
         for batch in self.scheduler.flush(now, force=force):
             try:

@@ -158,6 +158,89 @@ class DriverSession:
         """Liveness of the camera stream at ``now``."""
         return self._state(self._last_frame_at, self.frame_stale_after, now)
 
+    # -- checkpoint / restore --------------------------------------------
+    def export_state(self) -> dict:
+        """A self-contained snapshot of the session's full state.
+
+        Everything the serving tier needs to resume this driver mid-drive
+        on another shard: the raw ring buffer (with write head and fill
+        level, so restore is bit-exact rather than re-derived through
+        :meth:`window`), the latest frame, stream timestamps, scheduling
+        signals, the request sequence, and the counters.  Arrays are
+        copied — the snapshot stays crash-consistent even if the live
+        session keeps ingesting.
+        """
+        return {
+            "session_id": self.session_id,
+            "driver_id": self.driver_id,
+            "privacy": self.privacy,
+            "window_steps": self.window_steps,
+            "imu_stale_after": self.imu_stale_after,
+            "frame_stale_after": self.frame_stale_after,
+            "base_priority": self.base_priority,
+            "buffer": self._buffer.copy(),
+            "filled": self._filled,
+            "head": self._head,
+            "latest_frame": (None if self._latest_frame is None
+                             else self._latest_frame.copy()),
+            "last_imu_at": self._last_imu_at,
+            "last_frame_at": self._last_frame_at,
+            "last_predicted": self._last_predicted,
+            "last_degraded": self._last_degraded,
+            "sequence": self._sequence,
+            "counters": {
+                "imu_samples": self.counters.imu_samples,
+                "frames": self.counters.frames,
+                "requests": self.counters.requests,
+                "verdicts": self.counters.verdicts,
+                "degraded_verdicts": self.counters.degraded_verdicts,
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DriverSession":
+        """Rebuild a session from :meth:`export_state` output, bit-exact.
+
+        The restored ring buffer, head and fill level equal the
+        snapshot's exactly, so ``restored.window()`` returns the same
+        float64 values the source session would have returned at
+        checkpoint time.
+        """
+        session = cls(
+            session_id=state["session_id"],
+            driver_id=int(state["driver_id"]),
+            privacy=state["privacy"],
+            window_steps=int(state["window_steps"]),
+            imu_stale_after=float(state["imu_stale_after"]),
+            frame_stale_after=float(state["frame_stale_after"]),
+            base_priority=float(state["base_priority"]),
+        )
+        buffer = np.asarray(state["buffer"], dtype=np.float64)
+        if buffer.shape != session._buffer.shape:
+            raise ConfigurationError(
+                f"checkpoint buffer shape {buffer.shape} does not match "
+                f"window_steps {session.window_steps}")
+        session._buffer = buffer.copy()
+        session._filled = int(state["filled"])
+        session._head = int(state["head"])
+        frame = state["latest_frame"]
+        session._latest_frame = (None if frame is None
+                                 else np.asarray(frame, dtype=np.float32))
+        session._last_imu_at = state["last_imu_at"]
+        session._last_frame_at = state["last_frame_at"]
+        session._last_predicted = state["last_predicted"]
+        session._last_degraded = bool(state["last_degraded"])
+        session._sequence = int(state["sequence"])
+        counters = state.get("counters", {})
+        session.counters = SessionCounters(
+            imu_samples=int(counters.get("imu_samples", 0)),
+            frames=int(counters.get("frames", 0)),
+            requests=int(counters.get("requests", 0)),
+            verdicts=int(counters.get("verdicts", 0)),
+            degraded_verdicts=int(counters.get("degraded_verdicts", 0)),
+        )
+        return session
+
     # -- scheduling signals ----------------------------------------------
     @property
     def alert_adjacent(self) -> bool:

@@ -33,9 +33,14 @@ from repro.streaming.sensors import (
 )
 from repro.streaming.transport import Channel
 
-#: Fault kinds a schedule may contain.
+#: Fault kinds a schedule may contain.  The first five target the
+#: streaming stack (:class:`ChaosHarness`); the serving kinds target the
+#: shard fleet and are interpreted by
+#: :class:`repro.serving.chaos.ServingChaosHarness`.
 FAULT_KINDS = ("blackout", "agent_silence", "sensor_stuck",
-               "sensor_dropout", "sensor_spike")
+               "sensor_dropout", "sensor_spike",
+               "shard_kill", "executor_hang", "sink_blackhole",
+               "journal_disk_full")
 
 _SENSOR_MODES = {"sensor_stuck": "stuck", "sensor_dropout": "dropout",
                  "sensor_spike": "spike"}
@@ -275,6 +280,23 @@ class ChaosDriveReport:
     @property
     def degraded_windows(self) -> int:
         return sum(1 for w in self.windows if w.degraded)
+
+    @property
+    def violations(self) -> list[str]:
+        """Invariant breaches that should fail a chaos run.
+
+        The streaming stack's contract under chaos is *degradation, not
+        darkness*: any single fault may cost a modality, but no analysis
+        window may end up with neither IMU nor frames — that would mean
+        the retransmission/recovery machinery lost a window entirely.
+        """
+        out = []
+        for window in self.windows:
+            if not window.has_imu and not window.has_frames:
+                out.append(
+                    f"window [{window.start:.1f}, {window.end:.1f}) fully "
+                    "dark: no modality was delivered")
+        return out
 
 
 def run_chaos_drive(schedule: FaultSchedule | None = None, *,

@@ -86,3 +86,36 @@ def test_cli_chaos(capsys):
     assert "IMU tuples" in captured
     assert "== Health ==" in captured
     assert "windows" in captured
+
+
+def test_cli_chaos_exits_nonzero_on_violations(capsys, monkeypatch):
+    # Regression: invariant violations used to print but still exit 0,
+    # so CI could never gate on the chaos drive.
+    from repro.streaming.faults import ChaosDriveReport
+
+    monkeypatch.setattr(
+        ChaosDriveReport, "violations",
+        property(lambda self: ["window [0.0, 5.0) fully dark: "
+                               "no modality was delivered"]))
+    assert main(["chaos", "--duration", "8", "--seed", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "CHAOS FAILED" in captured.err
+    assert "fully dark" in captured.err
+
+
+def test_cli_serving_chaos(tmp_path, capsys):
+    snapshot = os.path.join(tmp_path, "chaos-metrics.json")
+    code = main(["chaos", "--serving", "--shards", "3", "--drivers", "2",
+                 "--duration", "8", "--train-samples", "60",
+                 "--train-epochs", "1", "--seed", "0",
+                 "--metrics-out", snapshot])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Serving chaos" in captured
+    assert "invariants: all hold" in captured
+    assert os.path.exists(snapshot)
+    # The resilience gauges flow through to `repro stats`.
+    assert main(["stats", snapshot]) == 0
+    stats_out = capsys.readouterr().out
+    assert "serving_supervisor_restarts_total" in stats_out
+    assert "serving_journal_disk_bytes" in stats_out

@@ -1,0 +1,140 @@
+"""Session checkpoint/restore: bit-exact state, interval store, npz
+persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serving import (
+    CheckpointStore,
+    DriverSession,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def drive_session(steps, *, window_steps=8, with_frame=True):
+    session = DriverSession(session_id="drv-0", driver_id=0,
+                            window_steps=window_steps, base_priority=0.5)
+    rng = np.random.default_rng(3)
+    for k in range(steps):
+        session.ingest_imu(0.25 * k, rng.normal(size=12))
+    if with_frame:
+        session.ingest_frame(0.25 * steps, rng.random((8, 8)))
+    session.next_sequence()
+    session.record_verdict(2, degraded=True)
+    return session
+
+
+@pytest.mark.parametrize("steps", [3, 8, 13])
+def test_restore_is_bit_exact(steps):
+    """Partial, exactly-full and wrapped rings all restore bit-exact."""
+    source = drive_session(steps)
+    restored = DriverSession.from_state(source.export_state())
+    np.testing.assert_array_equal(restored.window(), source.window())
+    assert restored.window().dtype == np.float64
+    np.testing.assert_array_equal(restored.latest_frame(),
+                                  source.latest_frame())
+    assert restored.counters == source.counters
+    assert restored.next_sequence() == source.next_sequence()
+    assert restored.alert_adjacent and restored.degraded
+    assert restored.priority(0.0) == source.priority(0.0)
+
+
+def test_restore_continues_the_ring_identically():
+    """Post-restore ingest must land exactly where the source's would."""
+    source = drive_session(13, window_steps=8)
+    restored = DriverSession.from_state(source.export_state())
+    sample = np.arange(12, dtype=np.float64)
+    source.ingest_imu(9.0, sample)
+    restored.ingest_imu(9.0, sample)
+    np.testing.assert_array_equal(restored.window(), source.window())
+
+
+def test_export_is_a_copy_not_a_view():
+    source = drive_session(5)
+    state = source.export_state()
+    before = state["buffer"].copy()
+    source.ingest_imu(99.0, np.ones(12))
+    np.testing.assert_array_equal(state["buffer"], before)
+
+
+def test_restore_validates_buffer_shape():
+    state = drive_session(3).export_state()
+    state["window_steps"] = 99
+    with pytest.raises(ConfigurationError):
+        DriverSession.from_state(state)
+
+
+def test_checkpoint_object_restores():
+    store = CheckpointStore(interval=1.0)
+    checkpoint = store.take(drive_session(6), now=2.5)
+    assert checkpoint.taken_at == 2.5
+    restored = checkpoint.restore()
+    assert restored.session_id == "drv-0"
+    assert restored.counters.imu_samples == 6
+
+
+def test_store_interval_gating():
+    store = CheckpointStore(interval=1.0)
+    session = drive_session(4)
+    assert store.due("drv-0", 0.0)  # no checkpoint yet
+    assert store.maybe_take(session, 0.0) is not None
+    assert store.maybe_take(session, 0.5) is None  # too soon
+    assert store.maybe_take(session, 1.0) is not None
+    assert store.taken == 2
+    assert store.latest("drv-0").taken_at == 1.0
+
+
+def test_store_restore_and_discard():
+    store = CheckpointStore(interval=1.0)
+    store.take(drive_session(4), 0.0)
+    assert store.restore("drv-0") is not None
+    assert store.restored == 1
+    store.discard("drv-0")
+    assert store.restore("drv-0") is None
+    assert store.restore("never-seen") is None
+    assert store.session_ids == []
+
+
+def test_npz_round_trip(tmp_path):
+    path = str(tmp_path / "drv-0.npz")
+    store = CheckpointStore(interval=1.0)
+    source = drive_session(10)
+    save_checkpoint(path, store.take(source, 3.0))
+    loaded = load_checkpoint(path)
+    assert loaded.taken_at == 3.0
+    restored = loaded.restore()
+    np.testing.assert_array_equal(restored.window(), source.window())
+    np.testing.assert_array_equal(restored.latest_frame(),
+                                  source.latest_frame())
+    assert restored.counters == source.counters
+
+
+def test_npz_round_trip_without_frame(tmp_path):
+    path = str(tmp_path / "drv-0.npz")
+    checkpoint = CheckpointStore().take(
+        drive_session(4, with_frame=False), 0.0)
+    save_checkpoint(path, checkpoint)
+    assert load_checkpoint(path).restore().latest_frame() is None
+
+
+def test_directory_persistence_survives_restart(tmp_path):
+    directory = str(tmp_path / "checkpoints")
+    store = CheckpointStore(interval=1.0, directory=directory)
+    store.take(drive_session(7), 1.0)
+    # A brand-new store (serving process restart) rebuilds from disk.
+    reborn = CheckpointStore(interval=1.0, directory=directory)
+    assert reborn.load_directory() == 1
+    assert reborn.session_ids == ["drv-0"]
+    restored = reborn.restore("drv-0")
+    np.testing.assert_array_equal(restored.window(),
+                                  drive_session(7).window())
+    reborn.discard("drv-0")
+    assert CheckpointStore(interval=1.0,
+                           directory=directory).load_directory() == 0
+
+
+def test_invalid_interval_raises():
+    with pytest.raises(ConfigurationError):
+        CheckpointStore(interval=0.0)

@@ -122,3 +122,63 @@ def test_invalid_configuration_raises():
         MicroBatchScheduler(capacity=0)
     with pytest.raises(ConfigurationError):
         MicroBatchScheduler(max_delay=-1.0)
+
+
+def test_requeued_requests_keep_head_of_line_standing():
+    """Regression: a retried request must dispatch before newly arrived
+    higher-priority work, not be reordered into a second delay."""
+    scheduler = MicroBatchScheduler(max_batch=2, max_delay=0.0)
+    retried = make_request(0.0, session_id="retried")
+    retried.retries = 1
+    scheduler.submit(make_request(1.0), 0.0)
+    scheduler.requeue([retried])
+    # A high-priority batch arrives AFTER the requeue.
+    scheduler.submit(make_request(5.0, session_id="vip"), 0.0)
+    scheduler.submit(make_request(4.0), 0.0)
+    first = scheduler.flush(1.0)[0]
+    assert first.requests[0] is retried
+    assert scheduler.stats.requeued == 1
+
+
+def test_requeue_bypasses_capacity():
+    scheduler = MicroBatchScheduler(max_batch=8, max_delay=10.0, capacity=2)
+    scheduler.submit(make_request(1.0), 0.0)
+    scheduler.submit(make_request(1.0), 0.0)
+    retried = make_request(0.0)
+    retried.retries = 1
+    scheduler.requeue([retried])  # over capacity, still admitted
+    assert scheduler.depth == 3
+    assert scheduler.stats.shed == 0
+
+
+def test_shedding_victimizes_fresh_requests_before_retried():
+    scheduler = MicroBatchScheduler(max_batch=8, max_delay=10.0, capacity=2)
+    retried = make_request(0.0, session_id="retried")
+    retried.retries = 1
+    fresh = make_request(0.5, session_id="fresh")
+    scheduler.submit(fresh, 0.0)
+    scheduler.requeue([retried])
+    # Capacity pressure: the fresh request is shed even though the
+    # retried one has strictly lower priority.
+    assert scheduler.submit(make_request(3.0, session_id="hot"), 0.0)
+    queued = [r for b in scheduler.flush(0.0, force=True)
+              for r in b.requests]
+    assert retried in queued
+    assert fresh not in queued
+
+
+def test_pop_expired_removes_only_expired_requests():
+    scheduler = MicroBatchScheduler(max_batch=32, max_delay=10.0)
+    expiring = make_request(1.0, session_id="late")
+    expiring.expires_at = 1.0
+    keeper = make_request(0.0, session_id="fine")
+    scheduler.submit(expiring, 0.0)
+    scheduler.submit(keeper, 0.0)
+    assert scheduler.pop_expired(0.5) == []
+    popped = scheduler.pop_expired(1.5)
+    assert popped == [expiring]
+    assert scheduler.stats.expired == 1
+    assert scheduler.depth == 1
+    remaining = [r for b in scheduler.flush(20.0, force=True)
+                 for r in b.requests]
+    assert remaining == [keeper]
