@@ -191,6 +191,7 @@ class VerdictJournal:
         self._since_sync = 0
         self._disk_full = False
         self._overflow: list[VerdictRecord] = []
+        self._unsynced: list[VerdictRecord] = []
         self.appended = 0
         self.synced = 0
         self.overflowed = 0
@@ -241,6 +242,14 @@ class VerdictJournal:
             self._obs_overflow.inc()
             return False
         self._drain_overflow()
+        if self._disk_full:
+            # The drain itself tripped disk-full; the new record must
+            # queue behind the still-parked older records, never jump
+            # them onto disk.
+            self._overflow.append(record)
+            self.overflowed += 1
+            self._obs_overflow.inc()
+            return False
         if not self._write(record):
             self._overflow.append(record)
             self.overflowed += 1
@@ -257,6 +266,7 @@ class VerdictJournal:
         except OSError:
             self._disk_full = True
             return False
+        self._unsynced.append(record)
         self._obs_bytes.set(self.size_bytes)
         return True
 
@@ -270,7 +280,15 @@ class VerdictJournal:
             self.sync()
 
     def sync(self) -> None:
-        """Flush buffered frames and issue the disk barrier."""
+        """Flush buffered frames and issue the disk barrier.
+
+        On a flush/fsync failure the records append() acknowledged but
+        the barrier never covered move back to the overflow buffer —
+        ahead of anything newer — so a later drain rewrites them instead
+        of trusting a userspace buffer the kernel may have dropped.  If
+        the original bytes did land, replay dedups the rewrite by
+        (driver, window) id.
+        """
         if self._handle.closed:
             return
         try:
@@ -278,7 +296,14 @@ class VerdictJournal:
             os.fsync(self._handle.fileno())
         except OSError:
             self._disk_full = True
+            if self._unsynced:
+                self._overflow[:0] = self._unsynced
+                self.overflowed += len(self._unsynced)
+                self._obs_overflow.inc(len(self._unsynced))
+                self._unsynced.clear()
+            self._since_sync = 0
             return
+        self._unsynced.clear()
         self.synced = self.appended - len(self._overflow)
         self._since_sync = 0
 

@@ -353,9 +353,11 @@ class InferenceServer:
 
     def poll(self, session_id: str) -> list[ServingVerdict]:
         """Drain the delivered-verdict outbox of one session."""
-        self.session(session_id)  # existence check
-        outbox = self._outboxes[session_id]
-        self._outboxes[session_id] = []
+        with self._session_lock:
+            outbox = self._outboxes.get(session_id)
+            if outbox is None:
+                raise ServingError(f"no open session {session_id!r}")
+            self._outboxes[session_id] = []
         return outbox
 
     def warm_executors(self) -> None:
@@ -428,10 +430,14 @@ class InferenceServer:
             if verdict.degraded:
                 self.stats.incr("degraded_verdicts")
             self.stats.record_latency(verdict.latency)
-            session = self._sessions.get(request.session_id)
-            if session is not None:
-                session.record_verdict(verdict.predicted, verdict.degraded)
-                self._outboxes[request.session_id].append(verdict)
+            with self._session_lock:
+                session = self._sessions.get(request.session_id)
+                if session is not None:
+                    session.record_verdict(verdict.predicted,
+                                           verdict.degraded)
+                    outbox = self._outboxes.get(request.session_id)
+                    if outbox is not None:
+                        outbox.append(verdict)
         if observe:
             combine_end = time.perf_counter()
             self._stage["combine"].observe(combine_end - combine_start)

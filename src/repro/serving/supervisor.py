@@ -408,7 +408,10 @@ class ShardSupervisor:
             try:
                 handle.evict(session_id)
             except ServingError:
-                pass
+                # A crashed-but-undetected shard raises before its
+                # handle forgets the id; discard it here so the later
+                # death sweep cannot resurrect a closed session.
+                handle.sessions.discard(session_id)
         del self._assign[session_id]
         self._meta.pop(session_id, None)
         self._next_window.pop(session_id, None)
@@ -636,6 +639,9 @@ class ShardSupervisor:
 
     def _migrate_from_checkpoint(self, session_id: str, source: str,
                                  now: float) -> None:
+        meta = self._meta.get(session_id)
+        if meta is None or session_id not in self._assign:
+            return  # closed while its shard was dead-but-undetected
         target_name = self.ring.route(session_id)
         if target_name is None:
             self._assign[session_id] = None  # parked until a restart
@@ -643,7 +649,6 @@ class ShardSupervisor:
         target = self._shards[target_name]
         session = self.checkpoints.restore(session_id)
         if session is None:
-            meta = self._meta[session_id]
             session = DriverSession(session_id=session_id,
                                     driver_id=meta["driver_id"],
                                     privacy=meta["privacy"],

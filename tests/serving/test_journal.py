@@ -129,6 +129,61 @@ def test_disk_full_overflows_to_memory_and_drains(tmp_path):
     assert [r.sequence for r in replay.records] == [0, 1, 2]
 
 
+def test_drain_tripping_disk_full_keeps_new_record_in_order(tmp_path,
+                                                            monkeypatch):
+    """When the overflow drain inside append() trips disk-full, the new
+    record must park behind the still-buffered older records — never
+    reach the disk ahead of them."""
+    path = str(tmp_path / "j.wal")
+    journal = VerdictJournal(path, fsync_every=100)
+    journal.simulate_disk_full(True)
+    assert not journal.append(record(0))  # parked in overflow
+    journal._disk_full = False            # space seems to return...
+    real_write = journal._write
+    tripped = []
+
+    def flaky(item):
+        if not tripped:                   # ...but the drain write trips
+            tripped.append(item)
+            journal._disk_full = True
+            return False
+        return real_write(item)
+
+    monkeypatch.setattr(journal, "_write", flaky)
+    assert not journal.append(record(1))  # must park, not jump to disk
+    assert journal.overflow_depth == 2
+    journal.simulate_disk_full(False)     # full recovery drains in order
+    journal.close()
+    assert [r.sequence for r in replay_journal(path).records] == [0, 1]
+
+
+def test_sync_failure_repatriates_acked_records_to_overflow(tmp_path,
+                                                            monkeypatch):
+    """Records append() acknowledged but the barrier never covered must
+    move to the overflow buffer on fsync failure, not silently ride in a
+    userspace buffer the kernel may have dropped."""
+    path = str(tmp_path / "j.wal")
+    journal = VerdictJournal(path, fsync_every=100)
+    for i in range(3):
+        assert journal.append(record(i))  # acked, barrier still pending
+
+    def broken(fd):
+        raise OSError(5, "I/O error")
+
+    monkeypatch.setattr("repro.serving.journal.os.fsync", broken)
+    journal.sync()
+    assert journal.disk_full
+    assert journal.overflow_depth == 3    # acked records not abandoned
+    monkeypatch.undo()                    # the disk heals
+    journal.simulate_disk_full(False)
+    journal.close()
+    replay = replay_journal(path)
+    assert [r.sequence for r in replay.records] == [0, 1, 2]
+    # flush() had landed the originals, so the rewrite duplicates them;
+    # replay dedups by (driver, window) id exactly as documented.
+    assert replay.duplicates == 3
+
+
 def test_sigkill_mid_write_leaves_replayable_journal(tmp_path):
     """A shard process SIGKILLed mid-journal-write must leave a journal
     that replays without duplicates and without surfacing torn data."""

@@ -80,8 +80,26 @@ def test_saturated_submissions_are_exactly_accounted():
     assert not drain.is_alive()
     server.drain(1e9)
 
+    # Deterministic epilogue: the threaded phase makes rejection and
+    # shedding *likely*, not certain — with the flusher stopped, force
+    # both failure modes so the assertions below never hinge on a
+    # particular interleaving.
+    low, high = sids[0], sids[3]  # base priorities 0.0 and 3.0
+    now = 0.25 * per_thread
+    server.ingest_imu(low, now, np.zeros(12))
+    server.ingest_imu(high, now, np.zeros(12))
+    extra = server.scheduler.capacity + 2
+    for _ in range(server.scheduler.capacity):  # fill the drained queue
+        assert server.request_verdict(low, now)
+        accepted[0] += 1
+    # Full queue + equal priority -> rejected; higher priority -> shed.
+    assert not server.request_verdict(low, now)
+    assert server.request_verdict(high, now)
+    accepted[3] += 1
+    server.drain(1e9)
+
     stats, sched = server.stats, server.scheduler.stats
-    total = threads_n * per_thread
+    total = threads_n * per_thread + extra
     assert stats.requests == total
     assert stats.unservable == 0
     assert sum(accepted) == sched.submitted

@@ -167,6 +167,61 @@ def test_adoption_races_against_opens_respect_the_cap():
     server.close()
 
 
+def test_dispatch_and_poll_race_close_without_keyerror():
+    """step()'s outbox append and poll() both race close_session: a
+    session closed mid-dispatch must simply drop its verdicts, never
+    KeyError out of the serving loop."""
+    server = make_server(64)
+    errors = []
+    done = threading.Event()
+    barrier = threading.Barrier(5)
+
+    def lifecycle(base):
+        barrier.wait()
+        for round_index in range(150):
+            sid = f"drv-{base}-{round_index}"
+            try:
+                server.open_session(base, session_id=sid)
+                server.ingest_imu(sid, 0.0, np.zeros(12))
+                server.request_verdict(sid, 0.0)
+                try:
+                    server.poll(sid)
+                except ServingError:
+                    pass  # closed by nobody here; existence raced away
+                server.close_session(sid)
+            except ServingError:
+                pass
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+                return
+
+    def stepper():
+        barrier.wait()
+        now = 0.0
+        while not done.is_set():
+            try:
+                server.step(now, force=True)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+                return
+            now += 0.05
+
+    workers = [threading.Thread(target=lifecycle, args=(b,))
+               for b in range(4)]
+    pump = threading.Thread(target=stepper)
+    for thread in workers:
+        thread.start()
+    pump.start()
+    for thread in workers:
+        thread.join()
+    done.set()
+    pump.join()
+    assert errors == []
+    assert server.sessions == []
+    assert server._outboxes == {}
+    server.close()
+
+
 @pytest.mark.slow
 def test_concurrent_ingest_during_churn_keeps_rings_intact():
     """Ingest threads racing open/close: windows stay well-formed and a

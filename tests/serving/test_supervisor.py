@@ -207,6 +207,32 @@ def test_failover_loses_no_windows():
         supervisor.close()
 
 
+def test_close_on_crashed_shard_never_resurrects_the_session():
+    """Closing a session whose shard has crashed — but the watchdog has
+    not noticed yet — must fully forget it: the later death sweep must
+    neither raise nor migrate the closed session onto a survivor."""
+    supervisor = make_supervisor()
+    try:
+        sids = [supervisor.open_session(d) for d in range(4)]
+        end = run_drive(supervisor, sids, until=1.0)
+        victim_sid = sids[0]
+        home = supervisor.assignment(victim_sid)
+        supervisor.shard(home).crashed = True  # dead but undetected
+        supervisor.close_session(victim_sid)   # evict fails under the hood
+        assert victim_sid not in supervisor.shard(home).sessions
+        now = end
+        while supervisor.shard(home).state == SHARD_UP:
+            supervisor.step(now)  # death sweep must not KeyError
+            now += 0.25
+        assert victim_sid not in supervisor.sessions
+        assert not any(m.session_id == victim_sid
+                       for m in supervisor.migrations)
+        with pytest.raises(ServingError):
+            supervisor.assignment(victim_sid)
+    finally:
+        supervisor.close()
+
+
 def test_migrated_ring_state_is_bit_exact():
     supervisor = make_supervisor(checkpoint_interval=0.25)
     try:
