@@ -10,14 +10,21 @@ Subcommands mirror the system's lifecycle:
 * ``chaos``     — run the scripted fault-injection drive and print the
   fault-tolerance report; ``--serving`` runs the serving-tier scenario
   (shard kills, executor hangs, sink blackhole, journal disk full)
-  against the shard supervisor instead.  Both modes exit non-zero when
-  a chaos invariant is violated, so CI can gate on them.
+  against the shard supervisor, and ``--edge`` runs the edge-fleet
+  scenario (uplink blackhole, corrupt OTA artifact, mid-download kill,
+  sabotaged canary) against on-device agents.  All modes exit non-zero
+  when a chaos invariant is violated, so CI can gate on them.
+* ``edge``      — run the edge agent fleet; ``--drive`` replays a clean
+  (fault-free) drive through on-device inference, the upload spool and
+  the full OTA lifecycle, and prints the fleet report.
 * ``serve``     — run the micro-batched inference server; ``--replay``
   pushes N concurrent scripted drives through it and prints a
   throughput/latency report plus the metrics snapshot and a sample
   request trace (``--metrics-out`` saves the snapshot as JSON).
 * ``stats``     — render a saved metrics snapshot (human table or
-  Prometheus text format) without the process that produced it.
+  Prometheus text format) without the process that produced it;
+  ``--fleet`` merges several per-shard/per-agent snapshots into one
+  fleet-wide view (counters and histograms add, gauges take the max).
 """
 
 from __future__ import annotations
@@ -175,9 +182,57 @@ def _cmd_serving_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_edge_chaos(args: argparse.Namespace) -> int:
+    from repro.edge import run_edge_chaos
+
+    ensemble = _load_or_train_model(args)
+    print(f"Running edge chaos: {args.agents} agents, "
+          f"{args.duration:.0f} s drive (seed {args.seed})...")
+    report = run_edge_chaos(
+        ensemble, agents=args.agents, duration=args.duration,
+        seed=args.seed)
+    print()
+    print(report.format_report())
+    if args.metrics_out:
+        from repro.obs import bundle, save_snapshot
+
+        save_snapshot(bundle(report.metrics, []), args.metrics_out)
+        print(f"\nSnapshot saved to {args.metrics_out} "
+              f"(inspect with `repro stats {args.metrics_out}`)")
+    if report.violations:
+        print(f"\nCHAOS FAILED: {len(report.violations)} invariant "
+              f"violation(s)", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_edge(args: argparse.Namespace) -> int:
+    from repro.edge import run_edge_chaos
+    from repro.streaming.faults import FaultSchedule
+
+    if not args.drive:
+        print("repro edge currently supports --drive mode only; pass "
+              "--drive to replay a clean fleet drive through on-device "
+              "inference, the upload spool and the OTA lifecycle.")
+        return 2
+    ensemble = _load_or_train_model(args)
+    print(f"Driving {args.agents} edge agents for {args.duration:.0f} s "
+          f"(no injected faults, seed {args.seed})...")
+    report = run_edge_chaos(
+        ensemble, agents=args.agents, duration=args.duration,
+        seed=args.seed, schedule=FaultSchedule([]))
+    print()
+    print(report.format_report())
+    return 1 if report.violations else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.serving:
         return _cmd_serving_chaos(args)
+    if args.edge:
+        return _cmd_edge_chaos(args)
     from repro.streaming import run_chaos_drive
 
     print(f"Running the scripted chaos drive ({args.duration:.0f} s, "
@@ -276,7 +331,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         render_traces,
     )
 
-    document = load_snapshot(args.snapshot)
+    if len(args.snapshot) > 1 and not args.fleet:
+        print("multiple snapshots given; pass --fleet to merge them "
+              "into one fleet-wide view", file=sys.stderr)
+        return 2
+    if args.fleet:
+        from repro.obs import bundle
+        from repro.obs.metrics import MetricsRegistry
+
+        fleet = MetricsRegistry()
+        traces: list[dict] = []
+        for path in args.snapshot:
+            member = load_snapshot(path)
+            fleet.merge(member)
+            traces.extend(member.get("traces", []))
+        document = bundle(fleet.snapshot(), traces)
+        print(f"Fleet view over {len(args.snapshot)} snapshot(s): "
+              f"counters/histograms summed, gauges maxed.\n")
+    else:
+        document = load_snapshot(args.snapshot[0])
     if args.format == "prometheus":
         print(render_prometheus(document), end="")
     else:
@@ -334,19 +407,41 @@ def build_parser() -> argparse.ArgumentParser:
                             "executor hangs, sink blackhole, full disk) "
                             "against the shard supervisor instead of the "
                             "streaming stack")
+    chaos.add_argument("--edge", action="store_true",
+                       help="run edge-fleet chaos (uplink blackhole, "
+                            "corrupt OTA artifact, mid-download kill, "
+                            "sabotaged canary) against on-device agents")
     chaos.add_argument("--shards", type=int, default=3,
                        help="serving mode: shards in the supervised fleet")
     chaos.add_argument("--drivers", type=int, default=6,
                        help="serving mode: concurrent driver sessions")
+    chaos.add_argument("--agents", type=int, default=3,
+                       help="edge mode: agents in the fleet")
     chaos.add_argument("--model", default=None,
-                       help="serving mode: saved ensemble directory "
+                       help="serving/edge mode: saved ensemble directory "
                             "(trains a tiny throwaway model when omitted)")
     chaos.add_argument("--train-samples", type=int, default=120)
     chaos.add_argument("--train-epochs", type=int, default=1)
     chaos.add_argument("--metrics-out", default=None,
-                       help="serving mode: write the supervisor metrics "
+                       help="serving/edge mode: write the metrics "
                             "snapshot to this JSON file")
     chaos.set_defaults(func=_cmd_chaos)
+
+    edge = sub.add_parser(
+        "edge", help="run the edge agent fleet (on-device inference, "
+                     "spooled uploads, OTA rollout)")
+    edge.add_argument("--drive", action="store_true",
+                      help="replay a clean fleet drive and print the "
+                           "fleet report")
+    edge.add_argument("--agents", type=int, default=3)
+    edge.add_argument("--duration", type=float, default=24.0)
+    edge.add_argument("--model", default=None,
+                      help="saved ensemble directory (trains a tiny "
+                           "throwaway model when omitted)")
+    edge.add_argument("--train-samples", type=int, default=120)
+    edge.add_argument("--train-epochs", type=int, default=1)
+    edge.add_argument("--seed", type=int, default=0)
+    edge.set_defaults(func=_cmd_edge)
 
     serve = sub.add_parser(
         "serve", help="run the micro-batched inference server")
@@ -382,8 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser(
         "stats", help="render a saved metrics snapshot")
-    stats.add_argument("snapshot", help="JSON file written by "
-                                        "`repro serve --metrics-out`")
+    stats.add_argument("snapshot", nargs="+",
+                       help="JSON file(s) written by "
+                            "`repro serve --metrics-out` (several with "
+                            "--fleet)")
+    stats.add_argument("--fleet", action="store_true",
+                       help="merge all given snapshots into one "
+                            "fleet-wide view (counters and histograms "
+                            "add, gauges take the max)")
     stats.add_argument("--format", default="text",
                        choices=["text", "prometheus"])
     stats.add_argument("--traces", type=int, default=1,

@@ -53,7 +53,13 @@ from repro.core.alerts import (
     DriverReport,
     FleetMonitor,
 )
-from repro.core.model_store import load_ensemble, save_ensemble
+from repro.core.model_store import (
+    artifact_digests,
+    file_digest,
+    load_ensemble,
+    save_ensemble,
+    verify_artifacts,
+)
 from repro.core.darnet import (
     DarNetSystem,
     dataset_from_drives,
@@ -78,4 +84,5 @@ __all__ = [
     "DriverIdentificationAdversary", "run_privacy_adversary_study",
     "Alert", "AlertPolicy", "DistractionAlerter", "DriverReport",
     "FleetMonitor", "save_ensemble", "load_ensemble",
+    "artifact_digests", "file_digest", "verify_artifacts",
 ]

@@ -4,16 +4,23 @@ The paper commits to "making the software and learning models available
 to the general research community" (§1) — which requires trained models
 to survive a process restart.  A saved ensemble is a directory:
 
-    <dir>/manifest.json      architecture + hyper-parameters
+    <dir>/manifest.json      architecture + hyper-parameters + digests
     <dir>/cnn.npz            frame-CNN weights (+ batch-norm stats)
     <dir>/rnn.npz            IMU-RNN weights            (cnn+rnn only)
     <dir>/rnn_stats.npz      window standardization stats
     <dir>/svm.npz            SVM dual state + scaler     (cnn+svm only)
     <dir>/combiner.npz       Bayesian-network CPT
+
+The manifest carries a SHA-256 content digest for every artifact file,
+and :func:`load_ensemble` verifies each digest before any bytes are
+parsed — a flipped bit in transit (OTA distribution, a bad disk) raises
+:class:`~repro.exceptions.ModelIntegrityError` instead of silently
+loading corrupt weights.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -23,11 +30,49 @@ from repro.core.bayesian import BayesianNetworkCombiner
 from repro.core.cnn import CnnConfig, DriverFrameCNN
 from repro.core.ensemble import DarNetEnsemble, SvmImuClassifier
 from repro.core.rnn import ImuSequenceRNN, RnnConfig
-from repro.exceptions import SerializationError
+from repro.exceptions import ModelIntegrityError, SerializationError
 from repro.ml.svm import BinarySVM
 from repro.nn.serialization import load_weights, save_weights
 
 _FORMAT_VERSION = 1
+
+
+def file_digest(path: str) -> str:
+    """SHA-256 hex digest of one file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def artifact_digests(directory: str) -> dict[str, str]:
+    """Digest every ``.npz`` artifact in a saved-ensemble directory."""
+    return {
+        name: file_digest(os.path.join(directory, name))
+        for name in sorted(os.listdir(directory))
+        if name.endswith(".npz")
+    }
+
+
+def verify_artifacts(directory: str, digests: dict[str, str]) -> None:
+    """Check every artifact against its recorded digest.
+
+    Raises :class:`ModelIntegrityError` naming the first missing or
+    mismatching artifact; a store that verifies is bit-identical to the
+    one that was saved.
+    """
+    for name, expected in sorted(digests.items()):
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            raise ModelIntegrityError(
+                f"artifact {name!r} listed in the manifest is missing "
+                f"from {directory}")
+        actual = file_digest(path)
+        if actual != expected:
+            raise ModelIntegrityError(
+                f"artifact {name!r} digest mismatch: manifest says "
+                f"{expected[:12]}..., file is {actual[:12]}...")
 
 
 def save_ensemble(ensemble: DarNetEnsemble, directory: str) -> None:
@@ -69,6 +114,7 @@ def save_ensemble(ensemble: DarNetEnsemble, directory: str) -> None:
                  laplace=np.array(ensemble.combiner.laplace),
                  cnn_prior=ensemble.combiner.cnn_prior(),
                  imu_prior=ensemble.combiner.imu_prior())
+    manifest["digests"] = artifact_digests(directory)
     with open(os.path.join(directory, "manifest.json"), "w",
               encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2)
@@ -86,6 +132,9 @@ def load_ensemble(directory: str, *,
         raise SerializationError(
             f"unsupported format version {manifest.get('format_version')}"
         )
+    # Pre-digest saves carry no "digests" key and load unverified.
+    if "digests" in manifest:
+        verify_artifacts(directory, manifest["digests"])
     rng = rng or np.random.default_rng()
     architecture = manifest["architecture"]
     cnn = DriverFrameCNN(CnnConfig(**manifest["cnn_config"]), rng=rng)

@@ -1,0 +1,123 @@
+"""Signed OTA release manifests: what an edge agent may install, and why.
+
+A model update that reaches a vehicle fleet is an attack surface and a
+reliability hazard at the same time, so every release travels as a
+:class:`ReleaseManifest` that makes both risks checkable *before* any
+weights are swapped in:
+
+* **content digests** — the manifest lists the SHA-256 of every artifact
+  file (reusing :func:`repro.core.model_store.artifact_digests`); a
+  downloaded artifact that does not hash to its manifest entry is
+  rejected, so a corrupt or tampered download can never be loaded;
+* **signature** — the manifest itself is HMAC-SHA256 signed over its
+  canonical JSON form with a fleet key provisioned on the device; an
+  unsigned or re-signed manifest is refused at check time, before any
+  bytes are downloaded;
+* **rollout policy** — ``canary_percent`` bounds the blast radius (only
+  the deterministic canary cohort installs the release first) and
+  ``min_probe_accuracy`` / ``max_latency_factor`` are the *rollback
+  triggers* the updater enforces against its held-out probe set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.exceptions import OtaError
+
+
+@dataclass(frozen=True)
+class ReleaseManifest:
+    """One published model release, as the OTA server advertises it."""
+
+    name: str                    #: registry variant the release replaces
+    version: int                 #: monotonically increasing release id
+    artifacts: dict[str, str] = field(default_factory=dict)
+    canary_percent: float = 100.0
+    min_probe_accuracy: float = 0.0
+    max_latency_factor: float = 3.0
+    signature: str = ""
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise OtaError(f"release version must be >= 1, got {self.version}")
+        if not 0.0 <= self.canary_percent <= 100.0:
+            raise OtaError(
+                f"canary_percent must be in [0, 100], got "
+                f"{self.canary_percent}")
+        if self.max_latency_factor <= 0:
+            raise OtaError("max_latency_factor must be positive")
+
+    # -- canonical form / signing ----------------------------------------
+    def canonical_payload(self) -> bytes:
+        """The signed byte form: sorted-key JSON minus the signature."""
+        body = asdict(self)
+        body.pop("signature")
+        return json.dumps(body, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def signed(self, key: bytes) -> "ReleaseManifest":
+        """A copy carrying a valid HMAC-SHA256 signature under ``key``."""
+        mac = hmac.new(key, self.canonical_payload(), hashlib.sha256)
+        return replace(self, signature=mac.hexdigest())
+
+    def verify_signature(self, key: bytes) -> None:
+        """Raise :class:`OtaError` unless the signature checks out."""
+        if not self.signature:
+            raise OtaError(
+                f"release {self.name} v{self.version} is unsigned")
+        expected = hmac.new(key, self.canonical_payload(),
+                            hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected, self.signature):
+            raise OtaError(
+                f"release {self.name} v{self.version} signature does not "
+                "verify under the fleet key")
+
+    def verify_artifact(self, filename: str, blob: bytes) -> None:
+        """Raise :class:`OtaError` unless ``blob`` hashes to the manifest."""
+        expected = self.artifacts.get(filename)
+        if expected is None:
+            raise OtaError(
+                f"release v{self.version} lists no artifact {filename!r}")
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != expected:
+            raise OtaError(
+                f"artifact {filename!r} of release v{self.version} is "
+                f"corrupt: manifest says {expected[:12]}..., bytes hash "
+                f"to {actual[:12]}...")
+
+    # -- canary cohort ----------------------------------------------------
+    def in_canary(self, agent_id: str) -> bool:
+        """Whether ``agent_id`` belongs to this release's canary cohort.
+
+        The cohort is a deterministic hash bucket over (agent, version):
+        the same agent lands in the same bucket on every check of the
+        same release, but rolls a fresh bucket for the next release, so
+        no vehicle is permanently the fleet's guinea pig.
+        """
+        if self.canary_percent >= 100.0:
+            return True
+        digest = hashlib.sha256(
+            f"{agent_id}#{self.version}".encode("utf-8")).digest()
+        bucket = int.from_bytes(digest[:4], "big") % 10_000
+        return bucket < self.canary_percent * 100.0
+
+    # -- wire form --------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ReleaseManifest":
+        try:
+            data = json.loads(payload)
+            return cls(name=data["name"], version=int(data["version"]),
+                       artifacts=dict(data["artifacts"]),
+                       canary_percent=float(data["canary_percent"]),
+                       min_probe_accuracy=float(data["min_probe_accuracy"]),
+                       max_latency_factor=float(data["max_latency_factor"]),
+                       signature=data.get("signature", ""))
+        except (ValueError, KeyError, TypeError) as error:
+            raise OtaError(f"malformed release manifest: {error}") from error

@@ -1,0 +1,432 @@
+"""Over-the-air model rollout: canary cohorts, digest gates, auto-rollback.
+
+The fleet-side :class:`OtaServer` publishes releases: a saved model-store
+directory plus a signed :class:`~repro.edge.manifest.ReleaseManifest`
+carrying per-file SHA-256 digests and the rollout policy (canary
+percentage, probe-accuracy floor, latency ceiling).
+
+The device-side :class:`OtaClient` is a small state machine driven by
+the agent's updater loop::
+
+    IDLE --check--> DOWNLOADING --all bytes--> VERIFYING
+      ^                  |  (partial files persist; a killed download
+      |                  |   resumes at the byte offset it died at)
+      |                  v
+      |             digest/signature bad? -> reject release, stay pinned
+      |                  |
+      |                  v ok
+      |             SWAPPED (candidate hot-swapped via registry.swap)
+      |                  |
+      |        probe regression? --yes--> ROLLBACK (previous model
+      |                  |                swapped back, release marked
+      |                  no               bad fleet-wide)
+      +------commit------+
+
+Three invariants the chaos drive audits:
+
+* bytes that fail their manifest digest are **never** loaded or swapped
+  (``integrity_rejections`` counts the refusals);
+* a mid-download kill resumes from the persisted partial files instead
+  of restarting (``bytes_resumed`` counts the skipped bytes);
+* a canary release whose live probe accuracy or latency regresses past
+  the manifest's triggers is rolled back automatically and reported,
+  so the rest of the fleet never installs it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.model_store import file_digest, load_ensemble
+from repro.edge.manifest import ReleaseManifest
+from repro.exceptions import OtaError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.serving.registry import ServingModelRegistry
+
+#: Updater phases (:attr:`OtaClient.phase`).
+IDLE = "idle"
+DOWNLOADING = "downloading"
+VERIFYING = "verifying"
+SWAPPED = "swapped"
+
+
+@dataclass
+class _Release:
+    manifest: ReleaseManifest
+    directory: str
+    bad: bool = False
+
+
+class OtaServer:
+    """Publishes signed releases and serves chunked artifact downloads.
+
+    Args:
+        key: fleet HMAC key manifests are signed with.
+        corrupt_artifacts: chaos flag — when set, served chunks are
+            bit-flipped *after* signing, modelling an artifact corrupted
+            in transit or on the CDN; client digests must catch it.
+    """
+
+    def __init__(self, key: bytes, *,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.key = key
+        self.corrupt_artifacts = False
+        #: Chaos: corrupt only these versions' chunks (additive with the
+        #: global ``corrupt_artifacts`` flag).
+        self.corrupt_versions: set[int] = set()
+        self._releases: dict[int, _Release] = {}
+        self._next_version = 1
+        registry = registry or get_registry()
+        self._obs_published = registry.counter(
+            "edge_ota_published_total", "Releases published to the fleet")
+        self._obs_marked_bad = registry.counter(
+            "edge_ota_marked_bad_total",
+            "Releases withdrawn after a device reported a rollback")
+
+    def publish(self, name: str, directory: str, *,
+                canary_percent: float = 100.0,
+                min_probe_accuracy: float = 0.0,
+                max_latency_factor: float = 3.0) -> ReleaseManifest:
+        """Sign and publish the saved ensemble at ``directory``."""
+        artifacts = {
+            filename: file_digest(os.path.join(directory, filename))
+            for filename in sorted(os.listdir(directory))
+            if os.path.isfile(os.path.join(directory, filename))
+        }
+        if "manifest.json" not in artifacts:
+            raise OtaError(
+                f"{directory!r} is not a saved model store directory "
+                "(no manifest.json)")
+        manifest = ReleaseManifest(
+            name=name, version=self._next_version, artifacts=artifacts,
+            canary_percent=canary_percent,
+            min_probe_accuracy=min_probe_accuracy,
+            max_latency_factor=max_latency_factor).signed(self.key)
+        self._releases[manifest.version] = _Release(manifest, directory)
+        self._next_version += 1
+        self._obs_published.inc()
+        return manifest
+
+    def latest(self, agent_id: str,
+               exclude: set[int] = frozenset()) -> ReleaseManifest | None:
+        """The newest live release this agent is allowed to install.
+
+        Canary gating happens here: a release rolled out at N% is only
+        advertised to agents in its deterministic canary cohort; everyone
+        else keeps seeing the previous full release until the canary
+        graduates (is re-published at 100%).
+
+        ``exclude`` carries the versions the asking device has refused
+        (failed digests, rolled back locally), so a client stuck behind
+        a corrupt release is offered the newest one below it instead of
+        the same bad bytes forever.
+        """
+        for version in sorted(self._releases, reverse=True):
+            if version in exclude:
+                continue
+            release = self._releases[version]
+            if release.bad:
+                continue
+            if release.manifest.in_canary(agent_id):
+                return release.manifest
+        return None
+
+    def fetch(self, version: int, filename: str, offset: int,
+              size: int) -> bytes:
+        """One chunk of an artifact (the resumable download primitive)."""
+        release = self._releases.get(version)
+        if release is None:
+            raise OtaError(f"no release v{version}")
+        if filename not in release.manifest.artifacts:
+            raise OtaError(f"release v{version} has no artifact {filename!r}")
+        path = os.path.join(release.directory, filename)
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read(size)
+        if chunk and (self.corrupt_artifacts
+                      or version in self.corrupt_versions):
+            # Flip one byte per served chunk: digests must reject this.
+            corrupted = bytearray(chunk)
+            corrupted[0] ^= 0xFF
+            chunk = bytes(corrupted)
+        return chunk
+
+    def artifact_size(self, version: int, filename: str) -> int:
+        release = self._releases.get(version)
+        if release is None:
+            raise OtaError(f"no release v{version}")
+        return os.path.getsize(os.path.join(release.directory, filename))
+
+    def mark_bad(self, version: int) -> None:
+        """A device rolled this release back; withdraw it fleet-wide."""
+        release = self._releases.get(version)
+        if release is not None and not release.bad:
+            release.bad = True
+            self._obs_marked_bad.inc()
+
+    @property
+    def bad_versions(self) -> set[int]:
+        return {v for v, r in self._releases.items() if r.bad}
+
+
+@dataclass
+class ProbeResult:
+    """One held-out probe evaluation of a live model."""
+
+    accuracy: float
+    latency: float
+
+
+def _default_probe_latency(model: Any, images: np.ndarray,
+                           imu: np.ndarray | None) -> float:
+    start = time.perf_counter()
+    model.predict_degraded(images=images, imu=imu)
+    return time.perf_counter() - start
+
+
+class OtaClient:
+    """Device-side updater: check, download (resumably), verify, swap.
+
+    Args:
+        server: the fleet OTA endpoint.
+        registry: the device's serving-model registry; accepted releases
+            land via :meth:`~ServingModelRegistry.swap` on ``name``.
+        name: registry variant this updater manages.
+        agent_id: identity used for canary cohort membership.
+        key: fleet HMAC key for manifest signature verification.
+        state_dir: durable scratch directory — partial downloads and the
+            pin file live here and survive a process kill.
+        probe_images / probe_labels / probe_imu: held-out probe set the
+            rollback triggers evaluate against.
+        latency_fn: probe latency measurement, injectable so tests and
+            the chaos drive stay deterministic; defaults to wall-clock
+            around one probe batch.
+        chunk_size / chunks_per_step: download granularity — one updater
+            step moves at most ``chunks_per_step * chunk_size`` bytes,
+            so a kill mid-release reliably lands between chunks.
+        accuracy_slack: tolerated probe-accuracy drop vs the incumbent
+            before the regression trigger fires.
+    """
+
+    def __init__(self, server: OtaServer, registry: ServingModelRegistry,
+                 *, name: str, agent_id: str, key: bytes, state_dir: str,
+                 probe_images: np.ndarray, probe_labels: np.ndarray,
+                 probe_imu: np.ndarray | None = None,
+                 latency_fn: Callable[..., float] | None = None,
+                 chunk_size: int = 4096, chunks_per_step: int = 8,
+                 accuracy_slack: float = 0.05,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.server = server
+        self.registry = registry
+        self.name = name
+        self.agent_id = agent_id
+        self.key = key
+        self.state_dir = str(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.probe_images = probe_images
+        self.probe_labels = probe_labels
+        self.probe_imu = probe_imu
+        self.latency_fn = latency_fn or _default_probe_latency
+        self.chunk_size = int(chunk_size)
+        self.chunks_per_step = int(chunks_per_step)
+        self.accuracy_slack = float(accuracy_slack)
+        self.phase = IDLE
+        self.pinned_version = self._load_pin()
+        self.rejected: set[int] = set()
+        self.integrity_rejections = 0
+        self.rollbacks = 0
+        self.installs = 0
+        self.bytes_resumed = 0
+        self._target: ReleaseManifest | None = None
+        self._previous_model: Any = None
+        self._baseline: ProbeResult | None = None
+        self.last_probe: ProbeResult | None = None
+        self.last_rollback: str = ""
+        metrics = metrics or get_registry()
+        self._obs_checks = metrics.counter(
+            "edge_ota_checks_total", "Update checks against the OTA server",
+            agent=agent_id)
+        self._obs_rejections = metrics.counter(
+            "edge_ota_integrity_rejections_total",
+            "Releases refused because a digest or signature failed",
+            agent=agent_id)
+        self._obs_installs = metrics.counter(
+            "edge_ota_installs_total", "Releases hot-swapped into serving",
+            agent=agent_id)
+        self._obs_rollbacks = metrics.counter(
+            "edge_ota_rollbacks_total",
+            "Installed releases rolled back by a probe regression",
+            agent=agent_id)
+        self._obs_resumed = metrics.gauge(
+            "edge_ota_bytes_resumed", "Download bytes skipped via resume",
+            agent=agent_id)
+
+    # -- pin persistence ---------------------------------------------------
+    @property
+    def _pin_path(self) -> str:
+        return os.path.join(self.state_dir, "pinned.json")
+
+    def _load_pin(self) -> int:
+        try:
+            with open(self._pin_path, encoding="utf-8") as handle:
+                return int(json.load(handle)["version"])
+        except (OSError, ValueError, KeyError):
+            return 0
+
+    def _save_pin(self) -> None:
+        tmp = self._pin_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"version": self.pinned_version}, handle)
+        os.replace(tmp, self._pin_path)
+
+    # -- state machine -----------------------------------------------------
+    def step(self, now: float) -> str:
+        """Advance the updater one tick; returns the phase after the tick."""
+        del now  # phases are event-driven; no wall timers
+        if self.phase == IDLE:
+            self._check()
+        elif self.phase == DOWNLOADING:
+            self._download_some()
+        elif self.phase == VERIFYING:
+            self._verify_and_swap()
+        elif self.phase == SWAPPED:
+            self._probe_and_commit()
+        return self.phase
+
+    def _check(self) -> None:
+        self._obs_checks.inc()
+        manifest = self.server.latest(self.agent_id, self.rejected)
+        if manifest is None or manifest.version <= self.pinned_version:
+            return
+        try:
+            manifest.verify_signature(self.key)
+        except OtaError:
+            self._reject(manifest.version)
+            return
+        self._target = manifest
+        self.phase = DOWNLOADING
+        # A process killed mid-download left partial files in the stage
+        # directory; count what this incarnation will *not* re-fetch.
+        stage = self._stage_dir(manifest.version)
+        if os.path.isdir(stage):
+            resumed = sum(
+                os.path.getsize(os.path.join(stage, f))
+                for f in manifest.artifacts
+                if os.path.exists(os.path.join(stage, f)))
+            if resumed:
+                self.bytes_resumed += resumed
+                self._obs_resumed.set(self.bytes_resumed)
+
+    def _stage_dir(self, version: int) -> str:
+        return os.path.join(self.state_dir, f"stage-v{version}")
+
+    def _download_some(self) -> None:
+        manifest = self._target
+        if manifest is None:  # killed and rebuilt mid-phase; re-check
+            self.phase = IDLE
+            return
+        stage = self._stage_dir(manifest.version)
+        os.makedirs(stage, exist_ok=True)
+        budget = self.chunks_per_step
+        for filename in sorted(manifest.artifacts):
+            if budget <= 0:
+                return
+            path = os.path.join(stage, filename)
+            total = self.server.artifact_size(manifest.version, filename)
+            have = os.path.getsize(path) if os.path.exists(path) else 0
+            while have < total and budget > 0:
+                chunk = self.server.fetch(manifest.version, filename,
+                                          have, self.chunk_size)
+                if not chunk:
+                    break
+                with open(path, "ab") as handle:
+                    handle.write(chunk)
+                have += len(chunk)
+                budget -= 1
+        if all(os.path.exists(os.path.join(stage, f))
+               and os.path.getsize(os.path.join(stage, f))
+               >= self.server.artifact_size(manifest.version, f)
+               for f in manifest.artifacts):
+            self.phase = VERIFYING
+
+    def _verify_and_swap(self) -> None:
+        manifest = self._target
+        assert manifest is not None
+        stage = self._stage_dir(manifest.version)
+        try:
+            for filename in sorted(manifest.artifacts):
+                with open(os.path.join(stage, filename), "rb") as handle:
+                    manifest.verify_artifact(filename, handle.read())
+            # load_ensemble re-verifies the store's own digests — two
+            # independent gates between corrupt bytes and live weights.
+            candidate = load_ensemble(stage)
+        except Exception:  # noqa: BLE001 — any staged defect means reject
+            self._reject(manifest.version, purge_stage=True)
+            return
+        self._previous_model = self.registry.get(self.name)
+        self._baseline = self._probe(self._previous_model)
+        self.registry.swap(self.name, candidate)
+        self.phase = SWAPPED
+
+    def _probe_and_commit(self) -> None:
+        manifest = self._target
+        assert manifest is not None and self._baseline is not None
+        result = self._probe(self.registry.get(self.name))
+        floor = max(manifest.min_probe_accuracy,
+                    self._baseline.accuracy - self.accuracy_slack)
+        latency_ceiling = (manifest.max_latency_factor
+                           * max(self._baseline.latency, 1e-9))
+        if result.accuracy < floor or result.latency > latency_ceiling:
+            self._rollback(manifest, result, floor, latency_ceiling)
+            return
+        self.pinned_version = manifest.version
+        self._save_pin()
+        self.installs += 1
+        self._obs_installs.inc()
+        self.last_probe = result
+        self._target = None
+        self._previous_model = None
+        self.phase = IDLE
+
+    def _rollback(self, manifest: ReleaseManifest, result: ProbeResult,
+                  floor: float, latency_ceiling: float) -> None:
+        self.registry.swap(self.name, self._previous_model)
+        self.server.mark_bad(manifest.version)
+        self.rejected.add(manifest.version)
+        self.rollbacks += 1
+        self._obs_rollbacks.inc()
+        self.last_rollback = (
+            f"v{manifest.version}: probe accuracy {result.accuracy:.3f} "
+            f"(floor {floor:.3f}), latency {result.latency:.4f}s "
+            f"(ceiling {latency_ceiling:.4f}s)")
+        self._target = None
+        self._previous_model = None
+        self.phase = IDLE
+
+    def _reject(self, version: int, *, purge_stage: bool = False) -> None:
+        self.rejected.add(version)
+        self.integrity_rejections += 1
+        self._obs_rejections.inc()
+        if purge_stage:
+            stage = self._stage_dir(version)
+            if os.path.isdir(stage):
+                for filename in os.listdir(stage):
+                    os.unlink(os.path.join(stage, filename))
+                os.rmdir(stage)
+        self._target = None
+        self.phase = IDLE
+
+    def _probe(self, model: Any) -> ProbeResult:
+        prediction = model.predict_degraded(images=self.probe_images,
+                                            imu=self.probe_imu)
+        accuracy = float(np.mean(
+            prediction.predictions == self.probe_labels))
+        latency = float(self.latency_fn(model, self.probe_images,
+                                        self.probe_imu))
+        return ProbeResult(accuracy=accuracy, latency=latency)

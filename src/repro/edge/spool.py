@@ -1,0 +1,345 @@
+"""On-device store-and-forward spool: verdicts survive a dead uplink.
+
+The edge agent's contract mirrors the serving journal's: a verdict the
+device produced is never *silently* lost — not when the uplink is
+blackholed for a minute, not when the agent process is SIGKILLed
+mid-append.  The spool is the same append-only, CRC-framed,
+fsync-batched WAL idiom as :mod:`repro.serving.journal`, adapted to the
+device side:
+
+* every verdict (and every evidence clip) is framed to disk *before* an
+  upload is attempted;
+* an **ack cursor** sidecar records how far the controller has
+  acknowledged; on restart only unacknowledged records re-enter the
+  upload queue (the controller dedups by record id, so a crashed cursor
+  write costs a duplicate upload, never a lost one);
+* :meth:`EdgeSpool.open` replays the WAL on startup, and a torn tail —
+  the frame a SIGKILL interrupted — is detected by its CRC/length and
+  **truncated in place**, so the next append starts on a clean frame
+  boundary instead of corrupting everything after it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError, SpoolError
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: Frame layout: magic(2) | payload_length:u32 LE | crc32(payload):u32 LE.
+MAGIC = b"ES"
+_HEADER = struct.Struct("<2sII")
+
+#: Record kinds the spool carries.
+KIND_VERDICT = "verdict"
+KIND_CLIP = "clip"
+
+
+@dataclass(frozen=True)
+class SpoolRecord:
+    """One spooled upload: a local verdict or an evidence clip.
+
+    ``sequence`` is the agent-scoped upload sequence (one space across
+    both kinds); ``(agent_id, sequence)`` is the identity the controller
+    dedups on, so a record replayed after a crash or retransmitted over
+    a flaky link lands downstream exactly once.
+    """
+
+    agent_id: str
+    sequence: int
+    timestamp: float
+    kind: str = KIND_VERDICT
+    predicted: int = -1
+    confidence: float = 0.0
+    degraded: bool = False
+    model_version: int = 0
+    payload: str = ""     #: hex-encoded evidence bytes for clip records
+
+    @property
+    def record_id(self) -> tuple[str, int]:
+        return (self.agent_id, self.sequence)
+
+    @property
+    def wire_size(self) -> int:
+        """Uplink cost: the framed JSON body plus an envelope header.
+
+        Clip records carry their evidence bytes inline, so a clip's wire
+        size scales with the clip — the bandwidth model charges for it.
+        """
+        return len(self.to_payload()) + 24
+
+    def to_payload(self) -> bytes:
+        return json.dumps({
+            "agent_id": self.agent_id, "sequence": self.sequence,
+            "timestamp": self.timestamp, "kind": self.kind,
+            "predicted": self.predicted, "confidence": self.confidence,
+            "degraded": self.degraded, "model_version": self.model_version,
+            "payload": self.payload,
+        }, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "SpoolRecord":
+        data = json.loads(payload.decode("utf-8"))
+        return cls(agent_id=data["agent_id"],
+                   sequence=int(data["sequence"]),
+                   timestamp=float(data["timestamp"]),
+                   kind=data.get("kind", KIND_VERDICT),
+                   predicted=int(data.get("predicted", -1)),
+                   confidence=float(data.get("confidence", 0.0)),
+                   degraded=bool(data.get("degraded", False)),
+                   model_version=int(data.get("model_version", 0)),
+                   payload=data.get("payload", ""))
+
+
+def frame_spool_record(record: SpoolRecord) -> bytes:
+    """One on-disk frame: header + payload, CRC over the payload."""
+    payload = record.to_payload()
+    return _HEADER.pack(MAGIC, len(payload),
+                        zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+@dataclass
+class SpoolReplay:
+    """What :func:`replay_spool` recovered from a spool file."""
+
+    records: list[SpoolRecord] = field(default_factory=list)
+    duplicates: int = 0
+    torn: int = 0
+    bytes_read: int = 0
+
+
+def replay_spool(path: str) -> SpoolReplay:
+    """Crash-safe replay: parse intact frames, dedup, stop at a torn tail.
+
+    ``bytes_read`` is the offset of the last fully verified frame — the
+    truncation point a recovery pass cuts the file back to.
+    """
+    replay = SpoolReplay()
+    if not os.path.exists(path):
+        return replay
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    seen: set[tuple[str, int]] = set()
+    offset = 0
+    while offset < len(blob):
+        header = blob[offset:offset + _HEADER.size]
+        if len(header) < _HEADER.size:
+            replay.torn += 1
+            break
+        magic, length, crc = _HEADER.unpack(header)
+        payload = blob[offset + _HEADER.size:offset + _HEADER.size + length]
+        if (magic != MAGIC or len(payload) < length
+                or zlib.crc32(payload) & 0xFFFFFFFF != crc):
+            replay.torn += 1
+            break
+        try:
+            record = SpoolRecord.from_payload(payload)
+        except (ValueError, KeyError):
+            replay.torn += 1
+            break
+        offset += _HEADER.size + length
+        replay.bytes_read = offset
+        if record.record_id in seen:
+            replay.duplicates += 1
+            continue
+        seen.add(record.record_id)
+        replay.records.append(record)
+    return replay
+
+
+class EdgeSpool:
+    """Durable upload queue for one edge agent.
+
+    Args:
+        path: WAL file (a ``<path>.cursor`` sidecar tracks acks).
+        fsync_every: records between disk barriers.
+        registry: metrics registry; process default when omitted.
+
+    Use :meth:`open` to construct: it recovers the WAL first (truncating
+    any torn tail) and seeds the pending queue with every record the
+    cursor has not acknowledged.
+    """
+
+    def __init__(self, path: str, *, fsync_every: int = 8,
+                 registry: MetricsRegistry | None = None) -> None:
+        if fsync_every < 1:
+            raise ConfigurationError("fsync_every must be >= 1")
+        self.path = str(path)
+        self.cursor_path = self.path + ".cursor"
+        self.fsync_every = int(fsync_every)
+        self.torn_truncated = 0
+        self.appended = 0
+        self.acked = 0
+        self._since_sync = 0
+        self._pending: list[SpoolRecord] = []
+        self._acked_through = -1
+        self._acked_extra: set[int] = set()
+        registry = registry or get_registry()
+        self._obs_depth = registry.gauge(
+            "edge_spool_depth", "Spooled records awaiting upload ack")
+        self._obs_bytes = registry.gauge(
+            "edge_spool_disk_bytes", "Bytes of edge spool on disk")
+        self._obs_appends = registry.counter(
+            "edge_spool_appends_total", "Records appended to the spool")
+        self._obs_acked = registry.counter(
+            "edge_spool_acked_total", "Spooled records acknowledged")
+        self._obs_truncated = registry.counter(
+            "edge_spool_truncated_total",
+            "Torn tail frames truncated during spool recovery")
+        self._recover()
+        try:
+            self._handle = open(self.path, "ab")
+        except OSError as error:
+            raise SpoolError(
+                f"cannot open spool {path!r}: {error}") from error
+        self._publish()
+
+    @classmethod
+    def open(cls, path: str, **options) -> "EdgeSpool":
+        """Open (and crash-recover) the spool at ``path``."""
+        return cls(path, **options)
+
+    # -- recovery ----------------------------------------------------------
+    def _recover(self) -> None:
+        self._load_cursor()
+        replay = replay_spool(self.path)
+        if replay.torn:
+            # A SIGKILL mid-append left a partial frame; cut the file
+            # back to the last verified frame boundary so appends resume
+            # on clean framing.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(replay.bytes_read)
+            self.torn_truncated = replay.torn
+            self._obs_truncated.inc(replay.torn)
+        for record in replay.records:
+            if not self._is_acked(record.sequence):
+                self._pending.append(record)
+
+    def _load_cursor(self) -> None:
+        if not os.path.exists(self.cursor_path):
+            return
+        try:
+            with open(self.cursor_path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            self._acked_through = int(data.get("acked_through", -1))
+            self._acked_extra = {int(s) for s in data.get("extra", [])}
+        except (OSError, ValueError):
+            # A torn cursor means re-uploading at most everything on
+            # disk; the controller dedups, so safety beats freshness.
+            self._acked_through = -1
+            self._acked_extra = set()
+
+    def _save_cursor(self) -> None:
+        payload = json.dumps({"acked_through": self._acked_through,
+                              "extra": sorted(self._acked_extra)})
+        tmp = self.cursor_path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.cursor_path)
+        except OSError:
+            pass  # a stale cursor only costs deduplicated re-uploads
+
+    def _is_acked(self, sequence: int) -> bool:
+        return sequence <= self._acked_through \
+            or sequence in self._acked_extra
+
+    # -- appending ---------------------------------------------------------
+    def append(self, record: SpoolRecord) -> None:
+        """Durably queue one record for upload."""
+        if self._is_acked(record.sequence):
+            return
+        try:
+            self._handle.write(frame_spool_record(record))
+        except OSError as error:
+            raise SpoolError(f"spool append failed: {error}") from error
+        self.appended += 1
+        self._obs_appends.inc()
+        self._since_sync += 1
+        if self._since_sync >= self.fsync_every:
+            self.sync()
+        self._pending.append(record)
+        self._publish()
+
+    def sync(self) -> None:
+        """Flush buffered frames and issue the disk barrier."""
+        if self._handle.closed:
+            return
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            pass  # replay-side CRC detects whatever did not land
+        self._since_sync = 0
+
+    # -- upload queue ------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Records spooled but not yet acknowledged."""
+        return len(self._pending)
+
+    def pending(self, limit: int | None = None) -> list[SpoolRecord]:
+        """The oldest unacknowledged records, in append order."""
+        if limit is None:
+            return list(self._pending)
+        return self._pending[:limit]
+
+    def ack(self, sequence: int) -> None:
+        """The controller acknowledged the record carrying ``sequence``."""
+        if self._is_acked(sequence):
+            return
+        self._acked_extra.add(sequence)
+        while self._acked_through + 1 in self._acked_extra:
+            self._acked_through += 1
+            self._acked_extra.discard(self._acked_through)
+        self._pending = [r for r in self._pending
+                         if r.sequence != sequence]
+        self.acked += 1
+        self._obs_acked.inc()
+        self._save_cursor()
+        self._publish()
+
+    # -- maintenance -------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        if self._handle.closed:
+            try:
+                return os.path.getsize(self.path)
+            except OSError:
+                return 0
+        return self._handle.tell()
+
+    def compact(self) -> None:
+        """Rewrite the WAL keeping only unacknowledged records.
+
+        Called on clean shutdown so an agent that has been online for a
+        long drive does not replay megabytes of acked history next boot.
+        """
+        self.sync()
+        records = list(self._pending)
+        tmp = self.path + ".compact"
+        with open(tmp, "wb") as handle:
+            for record in records:
+                handle.write(frame_spool_record(record))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "ab")
+        self._acked_through = -1
+        self._acked_extra = set()
+        self._save_cursor()
+        self._publish()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.compact()
+            self._handle.close()
+
+    def _publish(self) -> None:
+        self._obs_depth.set(len(self._pending))
+        self._obs_bytes.set(self.size_bytes)

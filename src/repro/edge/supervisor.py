@@ -1,0 +1,147 @@
+"""Process-style task supervision for the edge agent's loops.
+
+The agent runs four cooperative loops — sensor, infer, upload, update —
+and a crash in one must not take down the others (a wedged OTA check
+cannot be allowed to stop verdicts).  :class:`TaskSupervisor` gives each
+loop the supervision a process tree would:
+
+* each task runs on its own interval off the shared virtual clock;
+* an exception is caught at the task boundary, counted, and the task is
+  **restarted after an exponential backoff** (doubling per consecutive
+  failure, capped), while the other tasks keep their schedule;
+* every successful run emits a heartbeat into a
+  :class:`~repro.streaming.health.HealthRegistry` under the id
+  ``<agent>/<task>``, so the controller-grade HEALTHY → DEGRADED →
+  SILENT machinery supervises individual loops: a task stuck in its
+  backoff window goes DEGRADED, a dead one goes SILENT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.streaming.health import HealthRegistry, Heartbeat
+
+
+@dataclass
+class SupervisedTask:
+    """One supervised loop."""
+
+    name: str
+    fn: Callable[[float], None]
+    interval: float
+    next_run: float = 0.0
+    runs: int = 0
+    failures: int = 0
+    restarts: int = 0
+    consecutive_failures: int = 0
+    sequence: int = 0
+    last_error: str = ""
+    history: list[str] = field(default_factory=list)
+
+
+class TaskSupervisor:
+    """Runs the agent's loops with restart-on-crash and heartbeats.
+
+    Args:
+        agent_id: prefix for the per-task heartbeat identities.
+        health: liveness registry heartbeats land in (``None`` disables
+            health reporting; tasks are still supervised/restarted).
+        backoff_base: first restart delay after a failure.
+        backoff_max: restart delay ceiling.
+    """
+
+    def __init__(self, agent_id: str, *,
+                 health: HealthRegistry | None = None,
+                 backoff_base: float = 0.5, backoff_max: float = 8.0,
+                 registry: MetricsRegistry | None = None) -> None:
+        if backoff_base <= 0 or backoff_max < backoff_base:
+            raise ConfigurationError(
+                "need 0 < backoff_base <= backoff_max")
+        self.agent_id = agent_id
+        self.health = health
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self._tasks: dict[str, SupervisedTask] = {}
+        registry = registry or get_registry()
+        self._obs_runs = registry.counter(
+            "edge_task_runs_total", "Supervised task executions",
+            agent=agent_id)
+        self._obs_failures = registry.counter(
+            "edge_task_failures_total",
+            "Supervised task executions that raised", agent=agent_id)
+        self._obs_restarts = registry.counter(
+            "edge_task_restarts_total",
+            "Task restarts after a backoff window", agent=agent_id)
+
+    def add_task(self, name: str, fn: Callable[[float], None],
+                 interval: float, *, start: float = 0.0) -> None:
+        """Register a loop: ``fn(now)`` runs every ``interval`` seconds."""
+        if interval <= 0:
+            raise ConfigurationError("task interval must be positive")
+        if name in self._tasks:
+            raise ConfigurationError(f"task {name!r} already supervised")
+        self._tasks[name] = SupervisedTask(name=name, fn=fn,
+                                           interval=float(interval),
+                                           next_run=float(start))
+        if self.health is not None:
+            self.health.register(f"{self.agent_id}/{name}", start)
+
+    def step(self, now: float) -> int:
+        """Run every task that is due; returns how many ran."""
+        ran = 0
+        for task in self._tasks.values():
+            if now < task.next_run:
+                continue
+            if task.consecutive_failures:
+                task.restarts += 1
+                self._obs_restarts.inc()
+                task.history.append(
+                    f"{now:.3f} restart #{task.restarts} of {task.name}")
+            try:
+                task.fn(now)
+            except Exception as error:  # noqa: BLE001 — task fault barrier
+                task.failures += 1
+                task.consecutive_failures += 1
+                task.last_error = f"{type(error).__name__}: {error}"
+                self._obs_failures.inc()
+                backoff = min(
+                    self.backoff_base
+                    * 2.0 ** (task.consecutive_failures - 1),
+                    self.backoff_max)
+                task.next_run = now + backoff
+                continue
+            task.runs += 1
+            task.consecutive_failures = 0
+            task.next_run = now + task.interval
+            ran += 1
+            self._obs_runs.inc()
+            if self.health is not None:
+                task.sequence += 1
+                self.health.record_heartbeat(
+                    Heartbeat(agent_id=f"{self.agent_id}/{task.name}",
+                              timestamp=now, sequence=task.sequence),
+                    now)
+        return ran
+
+    # -- inspection --------------------------------------------------------
+    def task(self, name: str) -> SupervisedTask:
+        if name not in self._tasks:
+            raise ConfigurationError(f"no supervised task {name!r}")
+        return self._tasks[name]
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._tasks)
+
+    def report(self) -> dict:
+        """Per-task run/failure/restart summary."""
+        return {
+            name: {"runs": task.runs, "failures": task.failures,
+                   "restarts": task.restarts,
+                   "last_error": task.last_error}
+            for name, task in self._tasks.items()
+        }

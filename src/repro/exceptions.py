@@ -28,6 +28,10 @@ class SerializationError(ReproError):
     """Saving or loading model state failed."""
 
 
+class ModelIntegrityError(SerializationError):
+    """A stored model artifact does not match its manifest digest."""
+
+
 class StreamingError(ReproError):
     """Base class for data-collection framework errors."""
 
@@ -66,3 +70,15 @@ class ShardTimeoutError(ServingError):
 
 class JournalError(ServingError):
     """The durable verdict journal is unusable (corrupt header, bad path)."""
+
+
+class EdgeError(ReproError):
+    """Base class for edge-agent runtime errors."""
+
+
+class SpoolError(EdgeError):
+    """The on-device store-and-forward spool is unusable."""
+
+
+class OtaError(EdgeError):
+    """An over-the-air model rollout step failed (bad manifest, bad bytes)."""

@@ -15,10 +15,18 @@ three operational properties:
 * **hot swap** — a newly trained model replaces a name atomically;
   requests already dispatched keep the object they were handed, so
   nothing in flight is dropped.
+
+Thread safety: the registry is read on every dispatch and written by
+hot-swap/OTA paths on other threads, so every check-then-act sequence
+(lazy load in :meth:`~ServingModelRegistry.get`, the model/generation
+pair in :meth:`~ServingModelRegistry.swap`) runs under one re-entrant
+lock — two racing threads can neither double-invoke a loader nor
+observe a new model with a stale generation.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -54,6 +62,7 @@ class ServingModelRegistry:
         self._records: dict[str, ModelRecord] = {}
         self._routes: dict[str | None, str] = {}
         self._default = default
+        self._lock = threading.RLock()
         self.swaps = 0
 
     # -- registration ----------------------------------------------------
@@ -63,13 +72,14 @@ class ServingModelRegistry:
         if (model is None) == (loader is None):
             raise ConfigurationError(
                 "register() needs exactly one of model= or loader=")
-        if name in self._records:
-            raise ConfigurationError(
-                f"variant {name!r} already registered; use swap()")
-        self._records[name] = ModelRecord(name=name, model=model,
-                                          loader=loader)
-        if self._default is None:
-            self._default = name
+        with self._lock:
+            if name in self._records:
+                raise ConfigurationError(
+                    f"variant {name!r} already registered; use swap()")
+            self._records[name] = ModelRecord(name=name, model=model,
+                                              loader=loader)
+            if self._default is None:
+                self._default = name
 
     def register_store(self, name: str, directory: str) -> None:
         """Register a lazily loaded ensemble saved by the model store."""
@@ -89,23 +99,31 @@ class ServingModelRegistry:
 
     # -- resolution ------------------------------------------------------
     def get(self, name: str) -> Any:
-        """The live model for ``name``, loading (and caching) if needed."""
-        record = self._records.get(name)
-        if record is None:
-            raise ServingError(f"no model variant named {name!r}")
-        if record.model is None:
-            record.model = record.loader()
-            record.loads += 1
+        """The live model for ``name``, loading (and caching) if needed.
+
+        The lazy load runs under the registry lock: concurrent first
+        requests for a cold variant invoke the loader exactly once and
+        every caller gets the one cached object.
+        """
+        with self._lock:
+            record = self._records.get(name)
+            if record is None:
+                raise ServingError(f"no model variant named {name!r}")
             if record.model is None:
-                raise ServingError(f"loader for {name!r} returned None")
-        record.hits += 1
-        return record.model
+                record.model = record.loader()
+                record.loads += 1
+                if record.model is None:
+                    raise ServingError(
+                        f"loader for {name!r} returned None")
+            record.hits += 1
+            return record.model
 
     def record(self, name: str) -> ModelRecord:
         """The registry record for ``name`` (stats, generation)."""
-        if name not in self._records:
-            raise ServingError(f"no model variant named {name!r}")
-        return self._records[name]
+        with self._lock:
+            if name not in self._records:
+                raise ServingError(f"no model variant named {name!r}")
+            return self._records[name]
 
     def warm(self, *names: str) -> None:
         """Force-load variants ahead of traffic (cold-start avoidance)."""
@@ -123,14 +141,15 @@ class ServingModelRegistry:
         """
         if model is None:
             raise ConfigurationError("cannot swap in a None model")
-        record = self._records.get(name)
-        if record is None:
-            raise ServingError(f"no model variant named {name!r}")
-        record.model = model
-        record.loader = None
-        record.generation += 1
-        self.swaps += 1
-        return record.generation
+        with self._lock:
+            record = self._records.get(name)
+            if record is None:
+                raise ServingError(f"no model variant named {name!r}")
+            record.model = model
+            record.loader = None
+            record.generation += 1
+            self.swaps += 1
+            return record.generation
 
     # -- privacy routing -------------------------------------------------
     def bind(self, level: str | None, name: str) -> None:
@@ -139,9 +158,10 @@ class ServingModelRegistry:
             raise ConfigurationError(
                 f"unknown privacy level {level!r}; ladder is "
                 f"{PRIVACY_LADDER}")
-        if name not in self._records:
-            raise ServingError(f"no model variant named {name!r}")
-        self._routes[level] = name
+        with self._lock:
+            if name not in self._records:
+                raise ServingError(f"no model variant named {name!r}")
+            self._routes[level] = name
 
     def route(self, level: str | None) -> str:
         """Variant name serving sessions at distortion ``level``.
@@ -156,10 +176,11 @@ class ServingModelRegistry:
                 f"unknown privacy level {level!r}; ladder is "
                 f"{PRIVACY_LADDER}")
         rung = PRIVACY_LADDER.index(level)
-        for index in range(rung, -1, -1):
-            name = self._routes.get(PRIVACY_LADDER[index])
-            if name is not None:
-                return name
-        if self._default is None:
-            raise ServingError("registry has no variants registered")
-        return self._default
+        with self._lock:
+            for index in range(rung, -1, -1):
+                name = self._routes.get(PRIVACY_LADDER[index])
+                if name is not None:
+                    return name
+            if self._default is None:
+                raise ServingError("registry has no variants registered")
+            return self._default

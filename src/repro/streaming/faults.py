@@ -36,11 +36,19 @@ from repro.streaming.transport import Channel
 #: Fault kinds a schedule may contain.  The first five target the
 #: streaming stack (:class:`ChaosHarness`); the serving kinds target the
 #: shard fleet and are interpreted by
-#: :class:`repro.serving.chaos.ServingChaosHarness`.
+#: :class:`repro.serving.chaos.ServingChaosHarness`; the edge kinds
+#: target the device runtime and are interpreted by
+#: :class:`repro.edge.chaos.EdgeChaosHarness` — ``uplink_blackhole``
+#: severs an agent's uplink both ways, ``ota_corrupt_artifact`` flips
+#: bytes in every artifact the OTA server serves, and
+#: ``ota_download_kill`` kills the updater process mid-download (the
+#: resumed download must continue from its persisted partial files).
 FAULT_KINDS = ("blackout", "agent_silence", "sensor_stuck",
                "sensor_dropout", "sensor_spike",
                "shard_kill", "executor_hang", "sink_blackhole",
-               "journal_disk_full")
+               "journal_disk_full",
+               "uplink_blackhole", "ota_corrupt_artifact",
+               "ota_download_kill")
 
 _SENSOR_MODES = {"sensor_stuck": "stuck", "sensor_dropout": "dropout",
                  "sensor_spike": "spike"}

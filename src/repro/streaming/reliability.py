@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -207,6 +207,15 @@ class ReliableSender:
         self.max_attempts = int(max_attempts)
         self.buffer_limit = int(buffer_limit)
         self.rng = rng or np.random.default_rng()
+        #: Optional delivery hooks: ``on_ack(sequence)`` fires when an
+        #: ack first covers a pending packet; ``on_drop(sequence,
+        #: reason)`` fires when the sender gives a packet up (reason
+        #: ``"abandoned"`` or ``"shed"``).  The edge uploader uses these
+        #: to keep its spool cursor exact — a record only counts as
+        #: uploaded when the controller acknowledged the packet carrying
+        #: it, and a dropped packet re-queues instead of leaking.
+        self.on_ack: Callable[[int], None] | None = None
+        self.on_drop: Callable[[int, str], None] | None = None
         self.stats = SenderStats(registry=registry,
                                  link=link or data.name)
         self._srtt_gauge = (registry or get_registry()).gauge(
@@ -250,6 +259,8 @@ class ReliableSender:
             if entry.attempts >= self.max_attempts:
                 del self._pending[entry.sequence]
                 self.stats.incr("abandoned")
+                if self.on_drop is not None:
+                    self.on_drop(entry.sequence, "abandoned")
                 continue
             entry.attempts += 1
             entry.next_retry = now + self._timeout(entry.attempts)
@@ -289,6 +300,8 @@ class ReliableSender:
                 continue
             entry = self._pending.pop(sequence)
             self.stats.incr("acked")
+            if self.on_ack is not None:
+                self.on_ack(sequence)
             if entry.attempts == 1:  # Karn: unambiguous RTT sample
                 sample = now - entry.first_sent
                 self._srtt = (sample if self._srtt is None
@@ -309,6 +322,8 @@ class ReliableSender:
             self.stats.incr("shed_frames")
         else:
             self.stats.incr("shed_data")
+        if self.on_drop is not None:
+            self.on_drop(victim.sequence, "shed")
 
 
 class ReliableReceiver:

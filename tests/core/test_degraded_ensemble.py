@@ -1,5 +1,7 @@
 """Degraded-mode verdicts: BN marginalization over a missing modality."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -223,10 +225,17 @@ def test_load_without_saved_priors_falls_back_to_uniform(
     ensemble, _ = tiny_trained_ensemble
     directory = tmp_path / "legacy"
     save_ensemble(ensemble, str(directory))
-    # Rewrite combiner.npz the way a pre-degraded-mode save looked.
+    # Rewrite combiner.npz the way a pre-degraded-mode save looked.  A
+    # store that old also predates artifact digests, so drop them from
+    # the manifest too — otherwise the tamper gate (correctly) rejects
+    # the rewritten file.
     combiner_path = directory / "combiner.npz"
     with np.load(combiner_path) as data:
         np.savez(combiner_path, cpt=data["cpt"], laplace=data["laplace"])
+    manifest_path = directory / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest.pop("digests", None)
+    manifest_path.write_text(json.dumps(manifest))
     reloaded = load_ensemble(str(directory), rng=np.random.default_rng(9))
     np.testing.assert_allclose(reloaded.combiner.cnn_prior(),
                                np.full(6, 1 / 6))

@@ -1,0 +1,93 @@
+"""Model store integrity: digests stamped on save, verified on load."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+from repro.core.model_store import (
+    artifact_digests,
+    file_digest,
+    load_ensemble,
+    save_ensemble,
+    verify_artifacts,
+)
+from repro.exceptions import ModelIntegrityError, SerializationError
+
+
+@pytest.fixture(scope="module")
+def saved_model(tiny_driving_dataset, tmp_path_factory):
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1),
+        rng=np.random.default_rng(11))
+    ensemble.fit(tiny_driving_dataset)
+    directory = str(tmp_path_factory.mktemp("store") / "model")
+    save_ensemble(ensemble, directory)
+    return directory
+
+
+def _copy_tree(source, destination):
+    os.makedirs(destination, exist_ok=True)
+    for name in os.listdir(source):
+        with open(os.path.join(source, name), "rb") as handle:
+            blob = handle.read()
+        with open(os.path.join(destination, name), "wb") as handle:
+            handle.write(blob)
+
+
+def test_save_stamps_digests_for_every_artifact(saved_model):
+    with open(os.path.join(saved_model, "manifest.json"),
+              encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    digests = manifest["digests"]
+    npz_files = sorted(name for name in os.listdir(saved_model)
+                       if name.endswith(".npz"))
+    assert sorted(digests) == npz_files
+    for name, digest in digests.items():
+        assert digest == file_digest(os.path.join(saved_model, name))
+
+
+def test_load_verifies_and_accepts_untampered_store(saved_model):
+    model = load_ensemble(saved_model)
+    assert hasattr(model, "predict_degraded")
+
+
+def test_tampered_weights_raise_typed_integrity_error(saved_model,
+                                                      tmp_path):
+    tampered = str(tmp_path / "tampered")
+    _copy_tree(saved_model, tampered)
+    path = os.path.join(tampered, "cnn.npz")
+    with open(path, "r+b") as handle:
+        handle.seek(-1, os.SEEK_END)
+        last = handle.read(1)
+        handle.seek(-1, os.SEEK_END)
+        handle.write(bytes([last[0] ^ 0xFF]))
+    with pytest.raises(ModelIntegrityError, match="cnn.npz"):
+        load_ensemble(tampered)
+    # The typed error is still a SerializationError for broad handlers.
+    assert issubclass(ModelIntegrityError, SerializationError)
+
+
+def test_missing_artifact_raises(saved_model, tmp_path):
+    gutted = str(tmp_path / "gutted")
+    _copy_tree(saved_model, gutted)
+    digests = artifact_digests(gutted)
+    os.unlink(os.path.join(gutted, "rnn.npz"))
+    with pytest.raises(ModelIntegrityError, match="rnn.npz"):
+        verify_artifacts(gutted, digests)
+
+
+def test_legacy_store_without_digests_still_loads(saved_model, tmp_path):
+    legacy = str(tmp_path / "legacy")
+    _copy_tree(saved_model, legacy)
+    manifest_path = os.path.join(legacy, "manifest.json")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest.pop("digests")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    model = load_ensemble(legacy)  # pre-digest saves stay loadable
+    assert hasattr(model, "predict_degraded")

@@ -1,0 +1,36 @@
+"""Edge-suite fixtures: one small trained ensemble plus a probe set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+
+
+@pytest.fixture(scope="package")
+def edge_ensemble(tiny_driving_dataset):
+    """A trained cnn+rnn ensemble cheap enough to share across tests.
+
+    Trained well enough that its probe accuracy sits clearly above a
+    weight-scrambled sabotage — the OTA rollback trigger needs that gap.
+    """
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=2, width=1.0),
+        rnn_config=RnnConfig(hidden_units=8, epochs=2),
+        rng=np.random.default_rng(7))
+    ensemble.fit(tiny_driving_dataset)
+    return ensemble
+
+
+@pytest.fixture(scope="package")
+def probe_set(tiny_driving_dataset):
+    """Class-balanced held-out probe arrays for OTA rollback triggers.
+
+    A random subset (the dataset is generated class-by-class, so a
+    prefix slice would be single-class and blind to regressions).
+    """
+    subset = tiny_driving_dataset
+    index = np.random.default_rng(1234).choice(
+        len(subset.labels), size=30, replace=False)
+    return subset.images[index], subset.imu[index], subset.labels[index]

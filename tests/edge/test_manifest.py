@@ -1,0 +1,75 @@
+"""Release manifests: signing, digest gates, canary cohorts."""
+
+import hashlib
+from dataclasses import replace
+
+import pytest
+
+from repro.edge import ReleaseManifest
+from repro.exceptions import OtaError
+
+KEY = b"fleet-key"
+
+
+def manifest(**overrides):
+    blob = b"weights"
+    base = ReleaseManifest(
+        name="edge", version=3,
+        artifacts={"cnn.npz": hashlib.sha256(blob).hexdigest()},
+        canary_percent=25.0)
+    return replace(base, **overrides) if overrides else base
+
+
+def test_sign_verify_round_trip():
+    signed = manifest().signed(KEY)
+    signed.verify_signature(KEY)  # does not raise
+    payload = signed.to_json()
+    ReleaseManifest.from_json(payload).verify_signature(KEY)
+
+
+def test_unsigned_and_tampered_manifests_are_refused():
+    with pytest.raises(OtaError, match="unsigned"):
+        manifest().verify_signature(KEY)
+    signed = manifest().signed(KEY)
+    with pytest.raises(OtaError, match="signature"):
+        replace(signed, canary_percent=100.0).verify_signature(KEY)
+    with pytest.raises(OtaError, match="signature"):
+        signed.verify_signature(b"wrong-key")
+
+
+def test_artifact_digest_gate():
+    signed = manifest().signed(KEY)
+    signed.verify_artifact("cnn.npz", b"weights")  # does not raise
+    with pytest.raises(OtaError, match="corrupt"):
+        signed.verify_artifact("cnn.npz", b"weightz")
+    with pytest.raises(OtaError, match="no artifact"):
+        signed.verify_artifact("rnn.npz", b"weights")
+
+
+def test_canary_cohort_is_deterministic_and_bounded():
+    release = manifest(canary_percent=30.0)
+    agents = [f"edge-{i}" for i in range(400)]
+    cohort = {a for a in agents if release.in_canary(a)}
+    again = {a for a in agents if release.in_canary(a)}
+    assert cohort == again  # same agents every check
+    assert 0 < len(cohort) < len(agents)
+    assert abs(len(cohort) / len(agents) - 0.30) < 0.10
+    # A new version rolls fresh buckets: no permanent guinea pigs.
+    next_release = manifest(version=4, canary_percent=30.0)
+    assert {a for a in agents if next_release.in_canary(a)} != cohort
+
+
+def test_full_rollout_includes_everyone():
+    release = manifest(canary_percent=100.0)
+    assert all(release.in_canary(f"edge-{i}") for i in range(50))
+
+
+def test_invalid_fields_raise():
+    with pytest.raises(OtaError):
+        manifest(version=0)
+    with pytest.raises(OtaError):
+        manifest(canary_percent=101.0)
+    with pytest.raises(OtaError):
+        manifest(max_latency_factor=0.0)
+    with pytest.raises(OtaError):
+        ReleaseManifest.from_json("{not json")

@@ -1,0 +1,190 @@
+"""Edge spool: CRC framing, ack cursor, torn-tail truncation, SIGKILL."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.edge import EdgeSpool, SpoolRecord, replay_spool
+from repro.edge.spool import frame_spool_record
+from repro.exceptions import ConfigurationError, SpoolError
+
+
+def record(sequence, kind="verdict", payload=""):
+    return SpoolRecord(agent_id="edge-0", sequence=sequence,
+                       timestamp=0.25 * sequence, kind=kind,
+                       predicted=sequence % 5, confidence=0.8,
+                       model_version=1, payload=payload)
+
+
+def test_payload_round_trip_preserves_every_field():
+    original = SpoolRecord(agent_id="edge-3", sequence=17, timestamp=4.25,
+                           kind="clip", predicted=2, confidence=0.5,
+                           degraded=True, model_version=4,
+                           payload="deadbeef")
+    assert SpoolRecord.from_payload(original.to_payload()) == original
+
+
+def test_clip_wire_size_scales_with_evidence():
+    small = record(1, kind="clip", payload="00" * 8)
+    large = record(2, kind="clip", payload="00" * 4096)
+    assert large.wire_size > small.wire_size + 4000
+
+
+def test_append_ack_and_depth(tmp_path):
+    spool = EdgeSpool.open(str(tmp_path / "s.wal"))
+    for i in range(1, 5):
+        spool.append(record(i))
+    assert spool.depth == 4
+    assert [r.sequence for r in spool.pending(2)] == [1, 2]
+    spool.ack(2)
+    spool.ack(1)
+    assert [r.sequence for r in spool.pending()] == [3, 4]
+    spool.ack(2)  # idempotent
+    assert spool.acked == 2
+    spool.close()
+
+
+def test_reopen_resumes_only_unacked(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    for i in range(1, 6):
+        spool.append(record(i))
+    spool.ack(1)
+    spool.ack(3)  # out-of-order ack lands in the cursor's extra set
+    spool.sync()
+    del spool  # simulate a crash: no close(), no compaction
+    reopened = EdgeSpool.open(path)
+    assert [r.sequence for r in reopened.pending()] == [2, 4, 5]
+    reopened.close()
+
+
+def test_torn_tail_is_truncated_in_place(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    for i in range(1, 4):
+        spool.append(record(i))
+    spool.close()
+    clean_size = os.path.getsize(path)
+    frame = frame_spool_record(record(4))
+    with open(path, "ab") as handle:
+        handle.write(frame[: len(frame) // 2])  # SIGKILL mid-write
+    reopened = EdgeSpool.open(path)
+    assert reopened.torn_truncated == 1
+    assert os.path.getsize(path) == clean_size
+    # Appends resume on a clean frame boundary after the cut.
+    reopened.append(record(4))
+    reopened.sync()
+    replay = replay_spool(path)
+    assert [r.sequence for r in replay.records] == [1, 2, 3, 4]
+    assert replay.torn == 0
+    reopened.close()
+
+
+def test_replay_dedups_by_record_id(tmp_path):
+    path = str(tmp_path / "s.wal")
+    with open(path, "wb") as handle:
+        handle.write(frame_spool_record(record(1)))
+        handle.write(frame_spool_record(record(2)))
+        handle.write(frame_spool_record(record(1)))  # crash-replayed
+    replay = replay_spool(path)
+    assert [r.sequence for r in replay.records] == [1, 2]
+    assert replay.duplicates == 1
+
+
+def test_replay_rejects_corrupt_crc(tmp_path):
+    path = str(tmp_path / "s.wal")
+    with open(path, "wb") as handle:
+        handle.write(frame_spool_record(record(1)))
+    blob = bytearray(open(path, "rb").read())
+    blob[-1] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    replay = replay_spool(path)
+    assert replay.records == [] and replay.torn == 1
+
+
+def test_compact_drops_acked_history(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    for i in range(1, 9):
+        spool.append(record(i))
+    for i in range(1, 7):
+        spool.ack(i)
+    spool.compact()
+    replay = replay_spool(path)
+    assert [r.sequence for r in replay.records] == [7, 8]
+    assert spool.depth == 2
+    spool.close()
+
+
+def test_torn_cursor_degrades_to_reupload(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    spool.append(record(1))
+    spool.ack(1)
+    spool.sync()
+    with open(path + ".cursor", "w", encoding="utf-8") as handle:
+        handle.write("{torn json")
+    del spool
+    reopened = EdgeSpool.open(path)
+    # A broken cursor costs a deduplicated re-upload, never a lost record.
+    assert [r.sequence for r in reopened.pending()] == [1]
+    reopened.close()
+
+
+def test_invalid_config_and_unwritable_path():
+    with pytest.raises(ConfigurationError):
+        EdgeSpool.open("/tmp/x.wal", fsync_every=0)
+    with pytest.raises(SpoolError):
+        EdgeSpool.open("/nonexistent-dir/spool.wal")
+
+
+def test_sigkill_mid_append_truncates_and_resumes(tmp_path):
+    """An agent SIGKILLed mid-append must leave a spool whose torn tail
+    is both detected and truncated on the next open, with the surviving
+    prefix gapless and duplicate-free."""
+    path = str(tmp_path / "crash.wal")
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    writer = (
+        "import sys; sys.path.insert(0, sys.argv[2])\n"
+        "from repro.edge.spool import EdgeSpool, SpoolRecord\n"
+        "spool = EdgeSpool.open(sys.argv[1], fsync_every=4)\n"
+        "i = 0\n"
+        "while True:\n"
+        "    i += 1\n"
+        "    spool.append(SpoolRecord(agent_id='edge-0', sequence=i,\n"
+        "                             timestamp=0.1 * i, predicted=1))\n"
+    )
+    proc = subprocess.Popen([sys.executable, "-c", writer, path,
+                             os.path.abspath(src)])
+    try:
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(path) and os.path.getsize(path) > 4096:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("spool writer never produced data")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    raw = replay_spool(path)
+    assert raw.torn <= 1  # at most the one frame the kill interrupted
+    spool = EdgeSpool.open(path)
+    # Recovery truncated exactly the torn frame (if any) and queued the
+    # gapless surviving prefix for upload.
+    assert spool.torn_truncated == raw.torn
+    assert os.path.getsize(path) == raw.bytes_read
+    sequences = [r.sequence for r in spool.pending()]
+    assert len(sequences) > 0
+    assert sequences == list(range(1, len(sequences) + 1))
+    clean = replay_spool(path)
+    assert clean.torn == 0 and clean.duplicates == 0
+    spool.close()

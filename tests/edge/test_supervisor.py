@@ -1,0 +1,84 @@
+"""Task supervisor: intervals, crash isolation, backoff, heartbeats."""
+
+import pytest
+
+from repro.edge import TaskSupervisor
+from repro.exceptions import ConfigurationError
+from repro.streaming.health import HealthRegistry
+
+
+def test_tasks_run_on_their_own_intervals():
+    supervisor = TaskSupervisor("edge-0")
+    runs = {"fast": 0, "slow": 0}
+    supervisor.add_task("fast", lambda now: runs.__setitem__(
+        "fast", runs["fast"] + 1), 1.0)
+    supervisor.add_task("slow", lambda now: runs.__setitem__(
+        "slow", runs["slow"] + 1), 5.0)
+    for now in range(10):
+        supervisor.step(float(now))
+    assert runs["fast"] == 10
+    assert runs["slow"] == 2  # t=0 and t=5
+
+
+def test_crash_is_isolated_and_backs_off_exponentially():
+    supervisor = TaskSupervisor("edge-0", backoff_base=5.0,
+                                backoff_max=80.0)
+    healthy_runs = []
+    supervisor.add_task("healthy", healthy_runs.append, 1.0)
+
+    def crash(now):
+        raise RuntimeError("loop wedged")
+
+    supervisor.add_task("crashy", crash, 1.0)
+    for now in range(20):
+        supervisor.step(float(now))
+    crashy = supervisor.task("crashy")
+    # t=0 fails -> retry at 5 -> 15 -> (35 beyond horizon): 3 tries.
+    assert crashy.failures == 3
+    assert crashy.restarts == 2
+    assert "RuntimeError" in crashy.last_error
+    assert len(healthy_runs) == 20  # the healthy loop never missed a beat
+
+
+def test_recovery_resets_the_backoff():
+    supervisor = TaskSupervisor("edge-0", backoff_base=0.5)
+    state = {"broken": True}
+
+    def flaky(now):
+        if state["broken"]:
+            raise ValueError("transient")
+
+    supervisor.add_task("flaky", flaky, 0.1)
+    supervisor.step(0.0)   # fails; next attempt at 0.5
+    state["broken"] = False
+    supervisor.step(0.5)   # restart succeeds
+    task = supervisor.task("flaky")
+    assert (task.failures, task.restarts, task.runs) == (1, 1, 1)
+    assert task.consecutive_failures == 0
+    assert task.next_run == pytest.approx(0.6)  # back on its interval
+
+
+def test_heartbeats_land_per_task_in_health_registry():
+    health = HealthRegistry(degraded_after=0.5, silent_after=2.0,
+                            detector_factory=None)
+    supervisor = TaskSupervisor("edge-0", health=health)
+    supervisor.add_task("sensor", lambda now: None, 0.1)
+    supervisor.add_task("infer", lambda now: None, 0.1)
+    supervisor.step(0.0)
+    health.step(0.1)
+    states = health.states()
+    assert set(states) == {"edge-0/sensor", "edge-0/infer"}
+    assert all(state.value == "healthy" for state in states.values())
+
+
+def test_invalid_configuration_raises():
+    with pytest.raises(ConfigurationError):
+        TaskSupervisor("edge-0", backoff_base=0.0)
+    supervisor = TaskSupervisor("edge-0")
+    with pytest.raises(ConfigurationError):
+        supervisor.add_task("t", lambda now: None, 0.0)
+    supervisor.add_task("t", lambda now: None, 1.0)
+    with pytest.raises(ConfigurationError):
+        supervisor.add_task("t", lambda now: None, 1.0)
+    with pytest.raises(ConfigurationError):
+        supervisor.task("missing")

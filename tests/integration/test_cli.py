@@ -119,3 +119,51 @@ def test_cli_serving_chaos(tmp_path, capsys):
     stats_out = capsys.readouterr().out
     assert "serving_supervisor_restarts_total" in stats_out
     assert "serving_journal_disk_bytes" in stats_out
+
+
+def test_cli_edge_chaos(tmp_path, capsys):
+    snapshot = os.path.join(tmp_path, "edge-metrics.json")
+    code = main(["chaos", "--edge", "--agents", "1", "--duration", "6",
+                 "--train-samples", "60", "--train-epochs", "1",
+                 "--seed", "0", "--metrics-out", snapshot])
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Edge chaos" in captured
+    assert "invariants: all hold" in captured
+    assert os.path.exists(snapshot)
+    assert main(["stats", snapshot]) == 0
+    stats_out = capsys.readouterr().out
+    assert "edge_spool_appends_total" in stats_out
+    assert "edge_ota_installs_total" in stats_out
+
+
+def test_cli_edge_drive_requires_flag(capsys):
+    assert main(["edge"]) == 2
+    assert "--drive" in capsys.readouterr().out
+
+
+def test_cli_stats_fleet_merges_snapshots(tmp_path, capsys):
+    import json
+
+    def snapshot_file(name, count):
+        return {
+            "metrics": [{
+                "kind": "counter", "name": "edge_verdicts_total",
+                "labels": {"agent": name}, "help": "", "value": count,
+            }],
+            "traces": [],
+        }
+
+    paths = []
+    for index, count in enumerate([3, 4]):
+        path = os.path.join(tmp_path, f"agent-{index}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot_file(f"edge-{index}", count), handle)
+        paths.append(path)
+    # Multiple snapshots without --fleet is an explicit usage error.
+    assert main(["stats", *paths]) == 2
+    assert "--fleet" in capsys.readouterr().err
+    assert main(["stats", "--fleet", *paths]) == 0
+    merged = capsys.readouterr().out
+    assert "Fleet view over 2 snapshot(s)" in merged
+    assert "edge_verdicts_total" in merged

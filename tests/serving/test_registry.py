@@ -121,3 +121,73 @@ def test_register_store_roundtrip(serving_ensemble, tmp_path):
     model = registry.get("stored")
     assert hasattr(model, "predict_degraded")
     assert registry.record("stored").loads == 1
+
+
+# -- thread safety ---------------------------------------------------------
+
+
+def test_concurrent_lazy_gets_load_exactly_once():
+    import threading
+    import time
+
+    loads = []
+
+    def slow_loader():
+        loads.append(1)
+        time.sleep(0.02)  # widen the check-then-load race window
+        return FakeModel("lazy")
+
+    registry = ServingModelRegistry()
+    registry.register("lazy", loader=slow_loader)
+    barrier = threading.Barrier(8)
+    results = []
+
+    def reader():
+        barrier.wait()
+        results.append(registry.get("lazy"))
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert loads == [1]  # the loader ran once, not once per racer
+    assert all(model is results[0] for model in results)
+    assert registry.record("lazy").hits == 8
+
+
+def test_swap_races_never_expose_a_missing_model():
+    import threading
+
+    registry = ServingModelRegistry()
+    registry.register("edge", FakeModel("v0"))
+    stop = threading.Event()
+    errors = []
+
+    def swapper():
+        generation = 0
+        while not stop.is_set():
+            generation += 1
+            registry.swap("edge", FakeModel(f"v{generation}"))
+
+    def reader():
+        while not stop.is_set():
+            try:
+                model = registry.get("edge")
+                if not model.tag.startswith("v"):
+                    errors.append(f"garbage model {model.tag!r}")
+            except Exception as error:  # noqa: BLE001 — the assertion
+                errors.append(repr(error))
+
+    threads = [threading.Thread(target=swapper)] + [
+        threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    import time
+
+    time.sleep(0.3)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert registry.swaps > 0
