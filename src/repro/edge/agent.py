@@ -84,7 +84,10 @@ class EdgeAgent:
         self.tracer = tracer or Tracer(enabled=False)
         self.verdicts = 0
         self.clips = 0
-        self._sequence = 0
+        # Resume numbering past everything the spool has ever carried:
+        # a restarted agent reusing a sequence would collide with its
+        # previous incarnation and be deduped downstream — silent loss.
+        self._sequence = spool.last_sequence
         self._cursor = 0
         self._inferred_through = 0
         self._imu_rows: list[np.ndarray] = []

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -200,8 +201,9 @@ class OtaClient:
         name: registry variant this updater manages.
         agent_id: identity used for canary cohort membership.
         key: fleet HMAC key for manifest signature verification.
-        state_dir: durable scratch directory — partial downloads and the
-            pin file live here and survive a process kill.
+        state_dir: durable scratch directory — partial downloads, the
+            pin file and the refused-release set live here and survive
+            a process kill.
         probe_images / probe_labels / probe_imu: held-out probe set the
             rollback triggers evaluate against.
         latency_fn: probe latency measurement, injectable so tests and
@@ -238,7 +240,7 @@ class OtaClient:
         self.accuracy_slack = float(accuracy_slack)
         self.phase = IDLE
         self.pinned_version = self._load_pin()
-        self.rejected: set[int] = set()
+        self.rejected: set[int] = self._load_rejected()
         self.integrity_rejections = 0
         self.rollbacks = 0
         self.installs = 0
@@ -284,6 +286,27 @@ class OtaClient:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump({"version": self.pinned_version}, handle)
         os.replace(tmp, self._pin_path)
+
+    @property
+    def _rejected_path(self) -> str:
+        return os.path.join(self.state_dir, "rejected.json")
+
+    def _load_rejected(self) -> set[int]:
+        try:
+            with open(self._rejected_path, encoding="utf-8") as handle:
+                return {int(v) for v in json.load(handle)["versions"]}
+        except (OSError, ValueError, KeyError, TypeError):
+            return set()
+
+    def _save_rejected(self) -> None:
+        # Refusals must survive restarts: a device that forgot it
+        # digest-rejected a corrupt release would re-download and
+        # re-reject the same bytes forever while the server (which only
+        # learns of rollbacks via mark_bad) keeps advertising it.
+        tmp = self._rejected_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"versions": sorted(self.rejected)}, handle)
+        os.replace(tmp, self._rejected_path)
 
     # -- state machine -----------------------------------------------------
     def step(self, now: float) -> str:
@@ -387,6 +410,7 @@ class OtaClient:
             return
         self.pinned_version = manifest.version
         self._save_pin()
+        self._purge_stages(manifest.version)
         self.installs += 1
         self._obs_installs.inc()
         self.last_probe = result
@@ -399,6 +423,12 @@ class OtaClient:
         self.registry.swap(self.name, self._previous_model)
         self.server.mark_bad(manifest.version)
         self.rejected.add(manifest.version)
+        self._save_rejected()
+        # Only this release's stage is garbage; partial downloads of
+        # *older* versions may still be resumed (the client falls back
+        # to the newest release below the rejected one).
+        shutil.rmtree(self._stage_dir(manifest.version),
+                      ignore_errors=True)
         self.rollbacks += 1
         self._obs_rollbacks.inc()
         self.last_rollback = (
@@ -411,6 +441,7 @@ class OtaClient:
 
     def _reject(self, version: int, *, purge_stage: bool = False) -> None:
         self.rejected.add(version)
+        self._save_rejected()
         self.integrity_rejections += 1
         self._obs_rejections.inc()
         if purge_stage:
@@ -421,6 +452,26 @@ class OtaClient:
                 os.rmdir(stage)
         self._target = None
         self.phase = IDLE
+
+    def _purge_stages(self, up_to: int) -> None:
+        """Drop stage directories for releases at or below ``up_to``.
+
+        Called on commit: the installed release no longer needs its
+        staged artifacts, and ``_check`` never adopts a version at or
+        below the pin, so older leftovers can never be resumed again —
+        without this a device accretes one full model copy per release
+        it ever took, unbounded disk growth across a fleet's lifetime.
+        """
+        for entry in os.listdir(self.state_dir):
+            if not entry.startswith("stage-v"):
+                continue
+            try:
+                version = int(entry[len("stage-v"):])
+            except ValueError:
+                continue
+            if version <= up_to:
+                shutil.rmtree(os.path.join(self.state_dir, entry),
+                              ignore_errors=True)
 
     def _probe(self, model: Any) -> ProbeResult:
         prediction = model.predict_degraded(images=self.probe_images,

@@ -16,7 +16,11 @@ device side:
 * :meth:`EdgeSpool.open` replays the WAL on startup, and a torn tail —
   the frame a SIGKILL interrupted — is detected by its CRC/length and
   **truncated in place**, so the next append starts on a clean frame
-  boundary instead of corrupting everything after it.
+  boundary instead of corrupting everything after it;
+* recovery also restores :attr:`EdgeSpool.last_sequence`, the highest
+  sequence ever spooled *or* acknowledged, so a restarted agent resumes
+  numbering past its previous incarnation — a reused sequence would be
+  deduplicated downstream, i.e. a verdict silently lost.
 """
 
 from __future__ import annotations
@@ -174,9 +178,15 @@ class EdgeSpool:
         self.torn_truncated = 0
         self.appended = 0
         self.acked = 0
+        #: Highest sequence ever spooled or acked; seed new sequences
+        #: past this so a restart never reuses one.
+        self.last_sequence = 0
         self._since_sync = 0
         self._pending: list[SpoolRecord] = []
-        self._acked_through = -1
+        # Sequences are 1-based; ``_acked_through == 0`` means nothing
+        # acked yet, and out-of-order acks wait in the extra set until
+        # the gap below them closes.
+        self._acked_through = 0
         self._acked_extra: set[int] = set()
         registry = registry or get_registry()
         self._obs_depth = registry.gauge(
@@ -218,6 +228,13 @@ class EdgeSpool:
         for record in replay.records:
             if not self._is_acked(record.sequence):
                 self._pending.append(record)
+        # The cursor can sit above every surviving record (a compacted,
+        # fully-acked spool has an empty WAL), so the high-water mark is
+        # the max across both the WAL and the ack state.
+        self.last_sequence = max(
+            self.last_sequence, self._acked_through,
+            max(self._acked_extra, default=0),
+            max((r.sequence for r in replay.records), default=0))
 
     def _load_cursor(self) -> None:
         if not os.path.exists(self.cursor_path):
@@ -225,12 +242,12 @@ class EdgeSpool:
         try:
             with open(self.cursor_path, encoding="utf-8") as handle:
                 data = json.load(handle)
-            self._acked_through = int(data.get("acked_through", -1))
+            self._acked_through = max(0, int(data.get("acked_through", 0)))
             self._acked_extra = {int(s) for s in data.get("extra", [])}
         except (OSError, ValueError):
             # A torn cursor means re-uploading at most everything on
             # disk; the controller dedups, so safety beats freshness.
-            self._acked_through = -1
+            self._acked_through = 0
             self._acked_extra = set()
 
     def _save_cursor(self) -> None:
@@ -258,6 +275,7 @@ class EdgeSpool:
         except OSError as error:
             raise SpoolError(f"spool append failed: {error}") from error
         self.appended += 1
+        self.last_sequence = max(self.last_sequence, record.sequence)
         self._obs_appends.inc()
         self._since_sync += 1
         if self._since_sync >= self.fsync_every:
@@ -330,8 +348,9 @@ class EdgeSpool:
         self._handle.close()
         os.replace(tmp, self.path)
         self._handle = open(self.path, "ab")
-        self._acked_through = -1
-        self._acked_extra = set()
+        # The ack cursor survives compaction untouched: surviving
+        # records keep their original (high) sequences, so resetting it
+        # would strand every future ack in the extra set forever.
         self._save_cursor()
         self._publish()
 

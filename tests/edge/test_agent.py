@@ -15,7 +15,7 @@ from repro.streaming.reliability import reliable_link
 
 
 def build_agent(tmp_path, model, *, duration=4.0, grid=0.25,
-                drop_probability=0.0):
+                drop_probability=0.0, sink=None):
     instants = np.arange(0.0, duration, grid)
     script = DriveScript.standard(segment_seconds=1.0, gap_seconds=0.25)
     trace = synthesize_trace(0, instants, script=script,
@@ -30,8 +30,9 @@ def build_agent(tmp_path, model, *, duration=4.0, grid=0.25,
     agent = EdgeAgent("edge-0", registry=registry, spool=spool,
                       uploader=uploader, trace=trace, instants=instants,
                       intervals=(grid, grid, grid, 2 * grid))
-    journal = VerdictJournal(str(tmp_path / "controller.wal"))
-    sink = StoreAndForwardSink(journal)
+    if sink is None:
+        journal = VerdictJournal(str(tmp_path / "controller.wal"))
+        sink = StoreAndForwardSink(journal)
     uplink = EdgeUplinkReceiver(receiver, sink)
     return agent, uplink, sink, instants, grid
 
@@ -85,6 +86,40 @@ def test_flaky_uplink_still_delivers_exactly_once(tmp_path, edge_ensemble):
     assert len(ids) == len(set(ids)) == produced
     assert agent.spool.depth == 0
     agent.close()
+
+
+def test_restart_resumes_sequence_and_loses_no_verdicts(tmp_path,
+                                                        edge_ensemble):
+    """A restarted agent on an existing spool must continue numbering
+    where the previous incarnation stopped: a reused sequence is either
+    dropped at append (already acked) or deduped by the controller —
+    either way a verdict silently lost."""
+    agent, uplink, sink, instants, grid = build_agent(tmp_path,
+                                                      edge_ensemble)
+    half = len(instants) // 2
+    for instant in instants[:half]:
+        agent.step(float(instant))
+        uplink.poll(float(instant))
+    first_produced = agent.verdicts + agent.clips
+    assert first_produced > 0
+    assert agent.spool.acked > 0  # some uploads already acknowledged
+    agent.spool.sync()
+    del agent, uplink  # SIGKILL: no close(), no compaction
+
+    # The successor reopens the same spool and uploads into the same
+    # controller sink (which dedups by (agent_id, sequence)).
+    successor, uplink, sink, instants, grid = build_agent(
+        tmp_path, edge_ensemble, sink=sink)
+    assert successor.spool.last_sequence == first_produced
+    run_drive(successor, uplink, instants, grid, settle=40)
+    produced = first_produced + successor.verdicts + successor.clips
+    ids = [(r.session_id, r.sequence) for r in sink.delivered]
+    # Nothing reused, nothing lost: both incarnations' records reach the
+    # controller exactly once, in one gapless sequence space.
+    assert len(ids) == len(set(ids)) == produced
+    assert max(sequence for _, sequence in ids) == produced
+    assert successor.spool.depth == 0
+    successor.close()
 
 
 def test_report_shape(tmp_path, edge_ensemble):

@@ -61,6 +61,9 @@ def test_install_flow_and_pin_persistence(edge_ensemble, probe_set,
     assert client.installs == 1
     assert client.pinned_version == 1
     assert registry.get("edge") is not edge_ensemble  # hot-swapped
+    # A committed install purges its staged artifacts — otherwise every
+    # release leaves a full model copy behind in state_dir.
+    assert not os.path.isdir(client._stage_dir(1))
     # The pin survives a process restart on the same state directory.
     successor, _ = make_client(server, edge_ensemble, probe_set,
                                tmp_path / "state")
@@ -86,6 +89,15 @@ def test_corrupt_download_is_rejected_before_swap(edge_ensemble, probe_set,
     server.corrupt_artifacts = False
     client.step(0.0)
     assert client.phase == IDLE and client.installs == 0
+    # The refusal is durable: a restarted device on the same state
+    # directory remembers it instead of re-downloading and re-rejecting
+    # the same bad release forever.
+    successor, _ = make_client(server, edge_ensemble, probe_set,
+                               tmp_path / "state")
+    assert successor.rejected == {1}
+    successor.step(0.0)
+    assert successor.phase == IDLE
+    assert successor.integrity_rejections == 0
 
 
 def test_kill_mid_download_resumes_from_staged_bytes(
@@ -129,6 +141,10 @@ def test_sabotaged_canary_rolls_back_and_is_marked_bad(
     assert registry.get("edge") is installed  # previous model restored
     assert server.bad_versions == {2}
     assert "v2" in client.last_rollback
+    # The rolled-back stage is purged and the refusal persisted.
+    assert not os.path.isdir(client._stage_dir(2))
+    assert make_client(server, edge_ensemble, probe_set,
+                       tmp_path / "state")[0].rejected == {2}
     # The server stops advertising the bad release fleet-wide.
     assert server.latest("edge-99").version == 1
 

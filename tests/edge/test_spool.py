@@ -1,5 +1,6 @@
 """Edge spool: CRC framing, ack cursor, torn-tail truncation, SIGKILL."""
 
+import json
 import os
 import signal
 import subprocess
@@ -107,6 +108,36 @@ def test_replay_rejects_corrupt_crc(tmp_path):
     assert replay.records == [] and replay.torn == 1
 
 
+def test_last_sequence_recovers_across_reopen(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    assert spool.last_sequence == 0
+    for i in range(1, 6):
+        spool.append(record(i))
+    spool.ack(5)  # out-of-order: the high-water ack sits in the extra set
+    assert spool.last_sequence == 5
+    spool.sync()
+    del spool  # crash: no close(), no compaction
+    reopened = EdgeSpool.open(path)
+    assert reopened.last_sequence == 5
+    reopened.close()
+
+
+def test_last_sequence_survives_compaction_of_fully_acked_spool(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    for i in range(1, 4):
+        spool.append(record(i))
+    for i in range(1, 4):
+        spool.ack(i)
+    spool.close()  # compacts: the WAL itself is now empty
+    reopened = EdgeSpool.open(path)
+    # Only the preserved ack cursor knows sequences 1-3 ever existed.
+    assert reopened.last_sequence == 3
+    assert reopened.pending() == []
+    reopened.close()
+
+
 def test_compact_drops_acked_history(tmp_path):
     path = str(tmp_path / "s.wal")
     spool = EdgeSpool.open(path)
@@ -118,6 +149,25 @@ def test_compact_drops_acked_history(tmp_path):
     replay = replay_spool(path)
     assert [r.sequence for r in replay.records] == [7, 8]
     assert spool.depth == 2
+    spool.close()
+
+
+def test_compact_preserves_ack_cursor(tmp_path):
+    path = str(tmp_path / "s.wal")
+    spool = EdgeSpool.open(path)
+    for i in range(1, 9):
+        spool.append(record(i))
+    for i in range(1, 7):
+        spool.ack(i)
+    spool.compact()
+    spool.ack(7)
+    spool.ack(8)
+    # Surviving records keep their original sequences, so post-compaction
+    # acks must still collapse into the contiguous cursor instead of
+    # accreting in the extra set forever.
+    with open(path + ".cursor", encoding="utf-8") as handle:
+        cursor = json.load(handle)
+    assert cursor == {"acked_through": 8, "extra": []}
     spool.close()
 
 
