@@ -232,9 +232,14 @@ def run_all(*, quick: bool = False) -> dict:
             "status": "gated (overhead must stay below the limit)",
         },
     }
+    try:
+        from benchmarks.provenance import host_provenance
+    except ImportError:          # script mode: benchmarks/ is sys.path[0]
+        from provenance import host_provenance
     return {
         "quick": quick,
         "cpu_count": cpu_count,
+        "host": host_provenance(),
         "batch": BATCH,
         "models": models,
         "parallel_replay": parallel,

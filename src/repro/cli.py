@@ -294,6 +294,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"Replaying {args.drivers} concurrent scripted drives "
           f"({args.duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
           f"deadline {args.deadline_ms:.0f} ms, {args.workers} worker(s), "
+          f"backend {args.backend}, "
           f"{args.kill_camera} camera(s) killed mid-replay)...")
     from repro.nn.runtime import profiled_layers
 
@@ -302,7 +303,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ensemble, drivers=args.drivers, duration=args.duration,
             max_batch=args.max_batch, max_delay=args.deadline_ms / 1e3,
             kill_camera=args.kill_camera, seed=args.seed,
-            workers=args.workers)
+            workers=args.workers, backend=args.backend)
     print()
     print(report.format_report())
     from repro.obs import bundle, render_text, render_traces, save_snapshot
@@ -463,6 +464,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="processes executing flushed batches (1 runs "
                             "in-process and is bit-exact with the default)")
+    serve.add_argument("--backend", default="numpy-fast",
+                       help="inference backend: numpy-fast (interpreted), "
+                            "numpy-compiled (fused execution plans, "
+                            "bit-exact), or numpy-compiled-int8 "
+                            "(quantized weights, lossy)")
     serve.add_argument("--train-samples", type=int, default=120)
     serve.add_argument("--train-epochs", type=int, default=1)
     serve.add_argument("--seed", type=int, default=0)

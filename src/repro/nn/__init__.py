@@ -42,12 +42,20 @@ from repro.nn.metrics import (
     top_k_accuracy,
 )
 from repro.nn.runtime import Workspace, fast_path_enabled, reference_mode
+from repro.nn.compile import (
+    backend_names,
+    compile_network,
+    set_default_backend,
+    using_backend,
+)
 from repro.nn.serialization import copy_weights, load_weights, save_weights
 
 __all__ = [
     "Layer", "Parameter", "assert_float32", "Dense", "Conv2D", "MaxPool2D",
     "AvgPool2D",
     "Workspace", "fast_path_enabled", "reference_mode",
+    "backend_names", "compile_network", "set_default_backend",
+    "using_backend",
     "GlobalAvgPool2D", "ReLU", "LeakyReLU", "Sigmoid", "Tanh", "Softmax",
     "softmax", "log_softmax", "BatchNorm", "Dropout", "Flatten", "Reshape",
     "Sequential", "ParallelBranches", "Residual", "LSTM", "BidirectionalLSTM",

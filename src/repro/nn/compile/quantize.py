@@ -1,0 +1,74 @@
+"""Per-channel symmetric int8 weight quantization for compiled plans.
+
+The int8 plan variant stores GEMM weights as int8 plus one float32 scale
+per output channel — "int8 at rest".  The arithmetic stays float32: the
+dequantized kernel is materialized once per plan (not per call), so the
+quantization *error* is baked into the weights while activations keep
+full precision.  This composes with the dCNN privacy ladder, where lower
+fidelity is already the contract — which is why the int8 plan is gated
+on verdict-class agreement only, never on bitwise parity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PlanWeight:
+    """A plan-owned GEMM kernel: a float32 snapshot or an int8 encoding."""
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._float: np.ndarray | None = np.array(array, dtype=np.float32,
+                                                  order="C")
+        self.int8: np.ndarray | None = None
+        self.scales: np.ndarray | None = None
+        self.channel_axis: int | None = None
+
+    @classmethod
+    def quantized(cls, array: np.ndarray, *, channel_axis: int
+                  ) -> "PlanWeight":
+        """Encode per-channel symmetric int8 along ``channel_axis``."""
+        array = np.asarray(array, dtype=np.float32)
+        handle = cls.__new__(cls)
+        reduce_axes = tuple(a for a in range(array.ndim)
+                            if a != channel_axis)
+        peak = np.abs(array).max(axis=reduce_axes)
+        scales = np.where(peak > 0.0, peak / 127.0, 1.0).astype(np.float32)
+        shape = [1] * array.ndim
+        shape[channel_axis] = -1
+        quant = np.clip(np.round(array / scales.reshape(shape)),
+                        -127, 127).astype(np.int8)
+        handle._float = None
+        handle.int8 = quant
+        handle.scales = scales
+        handle.channel_axis = channel_axis
+        return handle
+
+    @property
+    def is_quantized(self) -> bool:
+        return self.int8 is not None
+
+    def materialize(self) -> np.ndarray:
+        """The float32 GEMM kernel (dequantized once, then cached)."""
+        if self._float is None:
+            shape = [1] * self.int8.ndim
+            shape[self.channel_axis] = -1
+            self._float = np.ascontiguousarray(
+                self.int8.astype(np.float32)
+                * self.scales.reshape(shape))
+        return self._float
+
+    @property
+    def nbytes_at_rest(self) -> int:
+        """Plan storage cost (int8 payload + scales, or the float copy)."""
+        if self.is_quantized:
+            return self.int8.nbytes + self.scales.nbytes
+        return self._float.nbytes
+
+
+def make_weight(array: np.ndarray, *, quantize: bool,
+                channel_axis: int) -> PlanWeight:
+    """A plan weight, int8-encoded when the plan requests quantization."""
+    if quantize:
+        return PlanWeight.quantized(array, channel_axis=channel_axis)
+    return PlanWeight(array)

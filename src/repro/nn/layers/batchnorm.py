@@ -47,6 +47,17 @@ class BatchNorm(Layer):
             return (1, self.num_features)
         return (1, self.num_features, 1, 1)
 
+    def eval_scale_shift(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eval-mode normalize+affine folded to per-channel scale/shift.
+
+        ``y = x * scale + shift`` with the running statistics baked in.
+        Shared by the fast-path forward and the graph compiler's fused
+        conv epilogue, so both compute bit-identical factors.
+        """
+        scale = self.gamma.value / np.sqrt(self.running_var + self.eps)
+        shift = self.beta.value - self.running_mean * scale
+        return scale, shift
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = as_float32(x)
         axes = self._reduce_axes(x)
@@ -59,8 +70,7 @@ class BatchNorm(Layer):
             # Fused normalize + affine: one multiply-add over the batch
             # instead of materializing x_hat.  The per-channel factors are
             # tiny, so folding them costs nothing per call.
-            scale = self.gamma.value / np.sqrt(self.running_var + self.eps)
-            shift = self.beta.value - self.running_mean * scale
+            scale, shift = self.eval_scale_shift()
             out = x * scale.reshape(shape)
             out += shift.reshape(shape)
             return out

@@ -140,6 +140,14 @@ class Conv2D(Layer):
         self._x_shape: tuple[int, int, int, int] | None = None
         self._out_hw: tuple[int, int] | None = None
 
+    def flat_weight(self) -> np.ndarray:
+        """The kernel as a GEMM-ready ``(out_channels, c*kh*kw)`` matrix.
+
+        A reshape view of the live parameter — used by both forward paths
+        and by the graph compiler's plan extraction.
+        """
+        return self.weight.value.reshape(self.out_channels, -1)
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = as_float32(x)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
@@ -152,7 +160,7 @@ class Conv2D(Layer):
         self._cols = cols
         self._x_shape = x.shape
         self._out_hw = (oh, ow)
-        flat_w = self.weight.value.reshape(self.out_channels, -1)
+        flat_w = self.flat_weight()
         out = cols @ flat_w.T
         if self.bias is not None:
             out = out + self.bias.value
@@ -172,7 +180,7 @@ class Conv2D(Layer):
         kh, kw = self.kernel_size
         sh, sw = self.stride
         ph, pw = self.padding
-        flat_w = self.weight.value.reshape(self.out_channels, -1)
+        flat_w = self.flat_weight()
         if (kh, kw) == (1, 1) and (sh, sw) == (1, 1) and (ph, pw) == (0, 0):
             out = np.empty((n, self.out_channels, h, w), dtype=np.float32)
             np.matmul(flat_w, x.reshape(n, c, h * w),

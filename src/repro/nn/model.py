@@ -19,6 +19,7 @@ from repro.nn.layers.base import Layer
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.optimizers import LearningRateSchedule, Optimizer
+from repro.nn.runtime.mode import fast_path_enabled
 from repro.nn.runtime.workspace import Workspace
 
 
@@ -71,6 +72,10 @@ class NeuralNetwork:
         self.history = TrainingHistory()
         self.workspace = Workspace()
         self._fitted = False
+        # Compiled execution plans, keyed by (backend name, input shape).
+        # A None value caches a compile miss (unsupported layer) so the
+        # walk runs once per shape, not once per batch.
+        self._plans: dict = {}
 
     # -- training -----------------------------------------------------------
     def fit(self, x: np.ndarray, y: np.ndarray, *, epochs: int = 10,
@@ -97,6 +102,9 @@ class NeuralNetwork:
         best_val = np.inf
         patience_left = early_stopping_patience
         for epoch in range(epochs):
+            # Optimizer steps mutate weights in place; any plan compiled
+            # during last epoch's validation pass is stale by now.
+            self.invalidate_plans()
             self.network.set_training(True)
             epoch_loss = 0.0
             correct = 0
@@ -146,6 +154,7 @@ class NeuralNetwork:
                 print(msg)
         self._fitted = True
         self.network.set_training(False)
+        self.invalidate_plans()
         return self.history
 
     def _validate(self, x_val: np.ndarray, y_val: np.ndarray
@@ -169,13 +178,58 @@ class NeuralNetwork:
         """
         x = np.asarray(x, dtype=np.float32)
         self.network.set_training(False)
-        self.network.set_workspace(self.workspace)
-        chunks = [
-            self.network.forward(x[start:start + batch_size])
-            for start in range(0, x.shape[0], batch_size)
-        ]
-        self.workspace.publish_metrics()
+        plan = self._compiled_plan(x.shape[1:])
+        if plan is not None:
+            chunks = [
+                plan.run(np.ascontiguousarray(x[start:start + batch_size]))
+                for start in range(0, x.shape[0], batch_size)
+            ]
+        else:
+            self.network.set_workspace(self.workspace)
+            chunks = [
+                self.network.forward(x[start:start + batch_size])
+                for start in range(0, x.shape[0], batch_size)
+            ]
+            self.workspace.publish_metrics()
+        if len(chunks) == 1:
+            return chunks[0]
         return np.concatenate(chunks, axis=0)
+
+    def _compiled_plan(self, input_shape: tuple[int, ...]):
+        """The active backend's plan for this input shape, if any.
+
+        Returns None when the active backend is the interpreted fast
+        path, when the fast path itself is disabled (reference mode needs
+        the literal layer-by-layer arithmetic), or when compilation found
+        an unsupported layer (the miss is cached per shape).
+        """
+        if not fast_path_enabled():
+            return None
+        from repro.nn.compile.backends import active_backend
+        backend = active_backend()
+        if not backend.compiles:
+            return None
+        key = (backend.name, tuple(input_shape))
+        if key not in self._plans:
+            self._plans[key] = backend.compile_model(self.network,
+                                                     input_shape)
+        return self._plans[key]
+
+    def invalidate_plans(self) -> None:
+        """Drop compiled plans after in-place weight mutation.
+
+        Plans snapshot weights at compile time; callers that update
+        parameters outside :meth:`fit` (weight surgery, manual loading)
+        must invalidate before the next inference call.
+        """
+        self._plans.clear()
+
+    def __getstate__(self) -> dict:
+        # Plans hold weight snapshots and bound arenas — recompiled
+        # lazily after unpickling (e.g. in forked executor workers).
+        state = self.__dict__.copy()
+        state["_plans"] = {}
+        return state
 
     def predict_logits(self, x: np.ndarray) -> np.ndarray:
         """Raw network outputs (pre-softmax)."""

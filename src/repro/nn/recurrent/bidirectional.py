@@ -6,6 +6,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.exceptions import ShapeError
 from repro.nn.layers.base import Layer, as_float32
 from repro.nn.recurrent.lstm import LSTM
 
@@ -43,10 +44,37 @@ class BidirectionalLSTM(Layer):
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        # Validate and convert once; both directions then take the
+        # already-checked array (LSTM.forward would re-run as_float32 and
+        # the shape check per direction on the exact same batch).
         x = as_float32(x)
-        fwd = self.forward_lstm.forward(x)
-        bwd = self.backward_lstm.forward(x)
+        expected = self.forward_lstm.input_size
+        if x.ndim != 3 or x.shape[2] != expected:
+            raise ShapeError(
+                f"{self.name}: expected (batch, time, {expected}), "
+                f"got {x.shape}"
+            )
+        fwd = self.forward_lstm._forward(x)
+        bwd = self.backward_lstm._forward(x)
         return np.concatenate([fwd, bwd], axis=-1)
+
+    def stacked_weights(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Both directions' kernels packed for one stacked-GEMM plan.
+
+        Returns ``(w_x_cat, w_h_stack, bias_cat)`` — the input kernels
+        column-concatenated to ``(input, 8h)`` so one GEMM covers both
+        directions' input projections, the recurrent kernels stacked to
+        ``(2, h, 4h)`` for a batched per-timestep gate matmul, and the
+        biases concatenated to ``(8h,)``.  Used by the graph compiler
+        (:mod:`repro.nn.compile`); arrays are copies (a weight snapshot).
+        """
+        fwd, bwd = self.forward_lstm, self.backward_lstm
+        w_x_cat = np.concatenate([fwd.w_x.value, bwd.w_x.value], axis=1)
+        w_h_stack = np.ascontiguousarray(
+            np.stack([fwd.w_h.value, bwd.w_h.value], axis=0))
+        bias_cat = np.concatenate([fwd.bias.value, bwd.bias.value])
+        return (np.ascontiguousarray(w_x_cat), w_h_stack,
+                np.ascontiguousarray(bias_cat))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         grad = as_float32(grad)

@@ -68,6 +68,15 @@ class LSTM(Layer):
                 f"{self.name}: expected (batch, time, {self.input_size}), "
                 f"got {x.shape}"
             )
+        return self._forward(x)
+
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward on an already-validated, contiguous float32 batch.
+
+        The bidirectional wrapper validates and converts once and calls
+        this for both directions, skipping a redundant ``as_float32``
+        pass per direction.
+        """
         if self.reverse:
             x = x[:, ::-1, :]
         if self._fast_inference():

@@ -1,34 +1,58 @@
-"""Global switch for the inference fast path.
+"""Switch for the inference fast path — thread-local, global fallback.
 
 Layers take the fast path when they are in eval mode (``set_training
-(False)``) *and* the fast path is globally enabled.  The global switch
-exists for exactly two callers: the parity tests and the benchmark
-harness, both of which need to run the reference (training-style)
-forward on an eval-mode model for comparison.  Everything else should
-leave it alone — the fast path is numerically interchangeable with the
-reference path (same GEMMs, same reductions, ordering differences only
-at float32 rounding level).
+(False)``) *and* the fast path is enabled.  The switch exists for exactly
+two callers: the parity tests and the benchmark harness, both of which
+need to run the reference (training-style) forward on an eval-mode model
+for comparison.  Everything else should leave it alone — the fast path
+is numerically interchangeable with the reference path (same GEMMs, same
+reductions, ordering differences only at float32 rounding level).
+
+The switch is **thread-local with the process global as fallback**: a
+benchmark thread inside :func:`reference_mode` must not silently drop
+concurrent serving threads onto the reference path.  A thread that has
+never touched the switch reads the process-wide default (which forked
+executor workers inherit); :func:`reference_mode` only ever overrides the
+calling thread.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
-_FAST_PATH = True
+_FAST_PATH = True          # process-wide default (fallback)
+_LOCAL = threading.local()  # per-thread override, set only by reference_mode
 
 
 def fast_path_enabled() -> bool:
-    """Whether eval-mode layers may use workspace/in-place execution."""
-    return _FAST_PATH
+    """Whether eval-mode layers may use workspace/in-place execution.
+
+    Reads the calling thread's override when one is active, else the
+    process-wide default.
+    """
+    return getattr(_LOCAL, "value", _FAST_PATH)
+
+
+def set_default_fast_path(enabled: bool) -> None:
+    """Set the process-wide default (threads without an override see it)."""
+    global _FAST_PATH
+    _FAST_PATH = bool(enabled)
 
 
 @contextmanager
 def reference_mode():
-    """Temporarily force the reference forward path (for parity/bench)."""
-    global _FAST_PATH
-    saved = _FAST_PATH
-    _FAST_PATH = False
+    """Temporarily force the reference forward path **on this thread**.
+
+    Nesting restores the outer state; other threads are unaffected.
+    """
+    had_override = hasattr(_LOCAL, "value")
+    saved = getattr(_LOCAL, "value", None)
+    _LOCAL.value = False
     try:
         yield
     finally:
-        _FAST_PATH = saved
+        if had_override:
+            _LOCAL.value = saved
+        else:
+            del _LOCAL.value

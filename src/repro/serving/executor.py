@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.ensemble import DegradedPrediction
 from repro.exceptions import ConfigurationError
+from repro.nn.compile.backends import using_backend
 from repro.obs.metrics import get_registry
 
 # -- worker-process state ----------------------------------------------------
@@ -106,7 +107,10 @@ def _worker_run(task: dict) -> dict:
         kwargs["images"] = images[lo:hi]
     if imu is not None:
         kwargs["imu"] = imu[lo:hi]
-    result = _WORKER_MODEL.predict_degraded(**kwargs)
+    # Workers recompile plans lazily (plans never ship in the pickle),
+    # so the backend choice must ride along with every task.
+    with using_backend(task["backend"]):
+        result = _WORKER_MODEL.predict_degraded(**kwargs)
     out = _view(task["out"])
     out[lo:hi] = result.probabilities
     return {
@@ -127,6 +131,8 @@ class ParallelExecutor:
         model: a trained ensemble (anything with ``predict_degraded``).
             Must be picklable — weights ship to workers exactly once.
         workers: process count; 1 short-circuits to in-process execution.
+        backend: inference backend name the shards execute under (both
+            in the workers and on the in-process fallback path).
 
     The executor presents the model's own ``predict_degraded`` surface,
     so :class:`~repro.serving.server.InferenceServer` can treat it as a
@@ -134,11 +140,13 @@ class ParallelExecutor:
     release the pool and the shared segments.
     """
 
-    def __init__(self, model, *, workers: int = 1) -> None:
+    def __init__(self, model, *, workers: int = 1,
+                 backend: str = "numpy-fast") -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.model = model
         self.workers = int(workers)
+        self.backend = backend
         #: Shard intervals of the last pooled batch, as
         #: ``(lo, hi, start, end)`` perf_counter tuples; empty when the
         #: batch ran in-process.  The server turns these into trace spans.
@@ -185,9 +193,10 @@ class ParallelExecutor:
     def _probe_output(self, images, imu) -> tuple[int, str]:
         """Class count / dtype of the probability matrix (cached)."""
         if self._out_spec is None:
-            probe = self.model.predict_degraded(
-                images=None if images is None else images[:1],
-                imu=None if imu is None else imu[:1])
+            with using_backend(self.backend):
+                probe = self.model.predict_degraded(
+                    images=None if images is None else images[:1],
+                    imu=None if imu is None else imu[:1])
             self._out_spec = (int(probe.probabilities.shape[1]),
                               probe.probabilities.dtype.str)
         return self._out_spec
@@ -198,12 +207,14 @@ class ParallelExecutor:
         """Model-compatible verdict batch, sharded across the pool."""
         if self._pool is None:
             self.last_shards = []
-            return self.model.predict_degraded(images=images, imu=imu)
+            with using_backend(self.backend):
+                return self.model.predict_degraded(images=images, imu=imu)
         count = len(images if images is not None else imu)
         shards = min(self.workers, count)
         if shards < 2:
             self.last_shards = []
-            return self.model.predict_degraded(images=images, imu=imu)
+            with using_backend(self.backend):
+                return self.model.predict_degraded(images=images, imu=imu)
         classes, out_dtype = self._probe_output(images, imu)
         image_spec = (None if images is None
                       else self._share("images", np.asarray(images)))
@@ -214,7 +225,7 @@ class ParallelExecutor:
         bounds = np.linspace(0, count, shards + 1).astype(int)
         tasks = [
             {"lo": int(lo), "hi": int(hi), "images": image_spec,
-             "imu": imu_spec, "out": out_spec}
+             "imu": imu_spec, "out": out_spec, "backend": self.backend}
             for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
         ]
         metas = self._pool.map(_worker_run, tasks)

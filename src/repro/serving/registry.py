@@ -56,30 +56,56 @@ class ServingModelRegistry:
     Args:
         default: name of the variant used when no route matches; defaults
             to the first registered variant.
+        backend: inference backend name every variant executes under
+            unless individually overridden at :meth:`register` time
+            (see :mod:`repro.nn.compile.backends`).
     """
 
-    def __init__(self, *, default: str | None = None) -> None:
+    def __init__(self, *, default: str | None = None,
+                 backend: str = "numpy-fast") -> None:
+        from repro.nn.compile.backends import get_backend
+
+        get_backend(backend)   # validate eagerly
         self._records: dict[str, ModelRecord] = {}
         self._routes: dict[str | None, str] = {}
         self._default = default
         self._lock = threading.RLock()
+        self.backend = backend
+        self._backends: dict[str, str] = {}
         self.swaps = 0
 
     # -- registration ----------------------------------------------------
     def register(self, name: str, model: Any = None, *,
-                 loader: Callable[[], Any] | None = None) -> None:
-        """Bind ``name`` to a live model or a lazy loader (exactly one)."""
+                 loader: Callable[[], Any] | None = None,
+                 backend: str | None = None) -> None:
+        """Bind ``name`` to a live model or a lazy loader (exactly one).
+
+        ``backend`` pins this variant to a specific inference backend;
+        unset variants follow the registry-wide default (so e.g. the
+        dCNN ladder can run int8 plans while the ensemble stays float).
+        """
         if (model is None) == (loader is None):
             raise ConfigurationError(
                 "register() needs exactly one of model= or loader=")
+        if backend is not None:
+            from repro.nn.compile.backends import get_backend
+
+            get_backend(backend)
         with self._lock:
             if name in self._records:
                 raise ConfigurationError(
                     f"variant {name!r} already registered; use swap()")
             self._records[name] = ModelRecord(name=name, model=model,
                                               loader=loader)
+            if backend is not None:
+                self._backends[name] = backend
             if self._default is None:
                 self._default = name
+
+    def backend_for(self, name: str) -> str:
+        """The inference backend name variant ``name`` executes under."""
+        with self._lock:
+            return self._backends.get(name, self.backend)
 
     def register_store(self, name: str, directory: str) -> None:
         """Register a lazily loaded ensemble saved by the model store."""

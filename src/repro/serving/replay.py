@@ -144,10 +144,10 @@ class ReplayReport:
         return "\n".join(lines)
 
 
-def _as_registry(model) -> ServingModelRegistry:
+def _as_registry(model, backend: str = "numpy-fast") -> ServingModelRegistry:
     if isinstance(model, ServingModelRegistry):
         return model
-    registry = ServingModelRegistry()
+    registry = ServingModelRegistry(backend=backend)
     registry.register("base", model)
     return registry
 
@@ -164,6 +164,7 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
                              seed: int = 0,
                              script: DriveScript | None = None,
                              workers: int = 1,
+                             backend: str = "numpy-fast",
                              observability: bool = True) -> ReplayReport:
     """Replay ``drivers`` concurrent scripted drives through a server.
 
@@ -186,6 +187,9 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         script: drive script; a standard all-behaviours script by default.
         workers: execution processes for flushed batches (1 = in-process,
             bit-exact with the pre-executor replay).
+        backend: inference backend for dispatch when ``model`` is a bare
+            model (a pre-built registry keeps its own backend config);
+            ``numpy-compiled`` is bit-exact with the default fast path.
         observability: stage histograms and request tracing; disable for
             the overhead benchmark's baseline measurement.
     """
@@ -206,7 +210,7 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         for d in range(drivers)
     ]
 
-    registry = _as_registry(model)
+    registry = _as_registry(model, backend)
     registry.warm()
     server = InferenceServer(
         registry,

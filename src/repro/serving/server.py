@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
 from repro.exceptions import ServingError
+from repro.nn.compile.backends import using_backend
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Span, Tracer
 from repro.serving.admission import AdmissionController, AdmissionDecision
@@ -384,7 +385,9 @@ class InferenceServer:
         executor = self._executors.get(model_key)
         if executor is None:
             executor = ParallelExecutor(self.registry.get(model_key),
-                                        workers=self.workers)
+                                        workers=self.workers,
+                                        backend=self.registry.backend_for(
+                                            model_key))
             self._executors[model_key] = executor
         return executor
 
@@ -394,18 +397,22 @@ class InferenceServer:
         generation = self.registry.record(batch.model_key).generation
         observe = self.observability
         forward_start = time.perf_counter() if observe else 0.0
-        if batch.modality == MODALITY_BOTH:
-            result = model.predict_degraded(
-                images=np.stack([r.frame for r in batch.requests]),
-                imu=np.stack([r.window for r in batch.requests]))
-        elif batch.modality == MODALITY_IMU:
-            result = model.predict_degraded(
-                imu=np.stack([r.window for r in batch.requests]))
-        elif batch.modality == MODALITY_FRAMES:
-            result = model.predict_degraded(
-                images=np.stack([r.frame for r in batch.requests]))
-        else:
-            raise ServingError(f"unknown modality {batch.modality!r}")
+        # Each variant runs under its registered inference backend;
+        # the selection is thread-local, so concurrent dispatch threads
+        # can route different variants through different backends.
+        with using_backend(self.registry.backend_for(batch.model_key)):
+            if batch.modality == MODALITY_BOTH:
+                result = model.predict_degraded(
+                    images=np.stack([r.frame for r in batch.requests]),
+                    imu=np.stack([r.window for r in batch.requests]))
+            elif batch.modality == MODALITY_IMU:
+                result = model.predict_degraded(
+                    imu=np.stack([r.window for r in batch.requests]))
+            elif batch.modality == MODALITY_FRAMES:
+                result = model.predict_degraded(
+                    images=np.stack([r.frame for r in batch.requests]))
+            else:
+                raise ServingError(f"unknown modality {batch.modality!r}")
         combine_start = time.perf_counter() if observe else 0.0
         if observe:
             self._stage["forward"].observe(combine_start - forward_start)
