@@ -166,7 +166,7 @@ def _cmd_serving_chaos(args: argparse.Namespace) -> int:
           f"(seed {args.seed})...")
     report = run_serving_chaos(
         ensemble, shards=args.shards, drivers=args.drivers,
-        duration=args.duration, seed=args.seed)
+        duration=args.duration, seed=args.seed, workers=args.workers)
     print()
     print(report.format_report())
     if args.metrics_out:
@@ -414,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "sabotaged canary) against on-device agents")
     chaos.add_argument("--shards", type=int, default=3,
                        help="serving mode: shards in the supervised fleet")
+    chaos.add_argument("--workers", type=int, default=0,
+                       help="persistent executor workers per shard server "
+                            "(with --serving; adds a worker_kill fault "
+                            "when > 0)")
     chaos.add_argument("--drivers", type=int, default=6,
                        help="serving mode: concurrent driver sessions")
     chaos.add_argument("--agents", type=int, default=3,
@@ -461,9 +465,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-batch flush deadline in milliseconds")
     serve.add_argument("--kill-camera", type=int, default=2,
                        help="drivers whose camera stream dies mid-replay")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="processes executing flushed batches (1 runs "
-                            "in-process and is bit-exact with the default)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="persistent worker processes executing flushed "
+                            "batches over shared-memory rings (0 runs "
+                            "in-process; any N delivers the identical "
+                            "verdict sequence)")
     serve.add_argument("--backend", default="numpy-fast",
                        help="inference backend: numpy-fast (interpreted), "
                             "numpy-compiled (fused execution plans, "

@@ -46,6 +46,14 @@ LATENCY_BUCKETS = (
 #: Buckets for small-integer distributions (batch sizes, queue depths).
 COUNT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
+#: Microsecond-scale buckets for shared-memory handoff latencies — a ring
+#: publish-to-pickup hop is orders of magnitude below LATENCY_BUCKETS'
+#: floor, so it needs its own resolution to be visible at all.
+HANDOFF_BUCKETS = (
+    0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.1,
+)
+
 _LabelItems = tuple[tuple[str, str], ...]
 
 

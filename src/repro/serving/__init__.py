@@ -19,9 +19,12 @@ executor hangs, sink blackholes and full disks.
 
 from repro.exceptions import (
     JournalError,
+    RingError,
     ServingError,
     ShardTimeoutError,
     ShardUnavailableError,
+    TornSlotError,
+    WorkerCrashError,
 )
 from repro.serving.admission import (
     AdmissionController,
@@ -40,7 +43,11 @@ from repro.serving.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
-from repro.serving.executor import ParallelExecutor, default_worker_count
+from repro.serving.executor import (
+    ExecutorTicket,
+    ParallelExecutor,
+    default_worker_count,
+)
 from repro.serving.journal import (
     JournalReplay,
     StoreAndForwardSink,
@@ -49,6 +56,7 @@ from repro.serving.journal import (
     replay_journal,
 )
 from repro.serving.registry import ModelRecord, ServingModelRegistry
+from repro.serving.ring import ClaimedSlot, PoppedSlot, SlotRing
 from repro.serving.replay import (
     DriverTrace,
     ReplayReport,
@@ -82,7 +90,7 @@ from repro.serving.supervisor import (
 
 __all__ = [
     "ServingError", "ShardUnavailableError", "ShardTimeoutError",
-    "JournalError",
+    "JournalError", "RingError", "TornSlotError", "WorkerCrashError",
     "DriverSession", "SessionCounters", "StreamState", "IMU_FEATURES",
     "ALERT_ADJACENT_BOOST", "DEGRADED_BOOST",
     "InferenceRequest", "MicroBatch", "MicroBatchScheduler",
@@ -90,7 +98,8 @@ __all__ = [
     "ServingModelRegistry", "ModelRecord",
     "AdmissionController", "AdmissionDecision", "AdmissionStats",
     "InferenceServer", "ServerStats", "ServingVerdict",
-    "ParallelExecutor", "default_worker_count",
+    "ParallelExecutor", "ExecutorTicket", "default_worker_count",
+    "SlotRing", "ClaimedSlot", "PoppedSlot",
     "ReplayReport", "DriverTrace", "replay_concurrent_drives",
     "synthesize_trace",
     "VerdictJournal", "VerdictRecord", "JournalReplay", "replay_journal",

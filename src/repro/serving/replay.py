@@ -163,7 +163,7 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
                              frame_stale_after: float = 1.0,
                              seed: int = 0,
                              script: DriveScript | None = None,
-                             workers: int = 1,
+                             workers: int = 0,
                              backend: str = "numpy-fast",
                              observability: bool = True) -> ReplayReport:
     """Replay ``drivers`` concurrent scripted drives through a server.
@@ -185,8 +185,10 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
             stream is treated as missing.
         seed: randomness seed for the synthetic drives.
         script: drive script; a standard all-behaviours script by default.
-        workers: execution processes for flushed batches (1 = in-process,
-            bit-exact with the pre-executor replay).
+        workers: persistent worker processes for flushed batches
+            (0 = in-process, bit-exact with the pre-executor replay;
+            N >= 1 shards batches across N long-lived workers and
+            delivers the same verdict sequence).
         backend: inference backend for dispatch when ``model`` is a bare
             model (a pre-built registry keeps its own backend config);
             ``numpy-compiled`` is bit-exact with the default fast path.

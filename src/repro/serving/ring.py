@@ -1,0 +1,235 @@
+"""Fixed-stride shared-memory ring buffer with seqlock slot stamps.
+
+The persistent-worker executor moves micro-batches between the server
+process and its workers through preallocated rings: the producer writes
+a request's float32 slab straight into a claimed slot and publishes it
+with two index writes; the consumer maps the slot back into ndarrays
+without a single pickle.  This module is the protocol layer — layout,
+cursors and stamps — and is deliberately agnostic about *where* the
+bytes live: the executor hands it ``multiprocessing.shared_memory``
+buffers, the property tests hand it a plain ``bytearray`` and drive both
+ends from threads, so the protocol is exercised deterministically on a
+1-core CI host.
+
+Layout (``capacity`` slots of ``slot_payload`` usable bytes each)::
+
+    [ header 128 B: head u64 @0 | tail u64 @64 ]     (cache-line padded)
+    [ slot 0: begin u64 | used u64 | payload ... | end u64 ]
+    [ slot 1: ... ]
+
+Protocol (single producer, single consumer — one ring per direction per
+worker, so SPSC is structural, not an honor system):
+
+* The producer claims slot ``head % capacity`` when ``head - tail <
+  capacity`` (otherwise the ring is full and :meth:`SlotRing.claim`
+  returns ``None`` — backpressure costs the caller a retry, never a
+  block inside the ring).  Claiming stamps ``begin`` with the slot's
+  1-based sequence number, publishing writes the payload length and
+  stamps ``end`` with the same sequence, then advances ``head``.
+* The consumer reads slot ``tail % capacity`` when ``head > tail`` and
+  validates **both** stamps against the expected sequence before
+  trusting the payload; a writer that died between the two stamp writes
+  leaves them disagreeing and the reader raises
+  :class:`~repro.exceptions.TornSlotError` instead of decoding garbage.
+  :meth:`SlotRing.release` advances ``tail``, returning the slot to the
+  producer.
+
+Cursors are aligned 8-byte slots 64 bytes apart, written with single
+``memoryview`` assignments (one ``memcpy`` under CPython — effectively
+atomic for aligned word-sized stores on the platforms we run on) and
+strictly monotonic, Lamport style: each side writes only its own cursor
+and reads the other's, so no compare-and-swap is needed anywhere.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.exceptions import RingError, TornSlotError
+
+#: Bytes reserved for the head/tail cursor pair (one cache line each).
+HEADER_BYTES = 128
+_HEAD_OFF = 0
+_TAIL_OFF = 64
+#: Per-slot overhead: begin stamp, used length (leading) + end stamp.
+SLOT_OVERHEAD = 24
+
+_U64 = struct.Struct("<Q")
+
+
+class ClaimedSlot:
+    """A producer-side slot reservation: write ``payload``, then publish.
+
+    ``payload`` is a writable memoryview over the slot's usable bytes;
+    nothing is visible to the consumer until :meth:`SlotRing.publish`
+    stamps and advances the cursor.
+    """
+
+    __slots__ = ("sequence", "payload", "_index")
+
+    def __init__(self, sequence: int, payload: memoryview, index: int) -> None:
+        self.sequence = sequence
+        self.payload = payload
+        self._index = index
+
+
+class PoppedSlot:
+    """A consumer-side view of one published slot: read, then release.
+
+    ``payload`` is valid only until :meth:`SlotRing.release` — after
+    that the producer may overwrite the slot.  Copy anything that must
+    outlive the release.
+    """
+
+    __slots__ = ("sequence", "payload", "_index")
+
+    def __init__(self, sequence: int, payload: memoryview, index: int) -> None:
+        self.sequence = sequence
+        self.payload = payload
+        self._index = index
+
+
+class SlotRing:
+    """SPSC ring of fixed-stride slots over any writable buffer.
+
+    Args:
+        buf: the backing buffer (``shared_memory.SharedMemory.buf``, a
+            ``bytearray``, ``mmap`` — anything memoryview-able and
+            writable) of at least :meth:`required_bytes`.
+        capacity: slot count; must be >= 1.
+        slot_payload: usable bytes per slot.
+        reset: zero the header cursors (the creating side passes True;
+            an attaching side must not, or it would erase live state).
+    """
+
+    def __init__(self, buf, *, capacity: int, slot_payload: int,
+                 reset: bool = False) -> None:
+        if capacity < 1:
+            raise RingError(f"ring capacity must be >= 1, got {capacity}")
+        if slot_payload < 1:
+            raise RingError(
+                f"slot payload must be >= 1 byte, got {slot_payload}")
+        self.capacity = int(capacity)
+        self.slot_payload = int(slot_payload)
+        self.slot_stride = self.slot_payload + SLOT_OVERHEAD
+        need = self.required_bytes(capacity, slot_payload)
+        self._buf = memoryview(buf)
+        if len(self._buf) < need:
+            raise RingError(
+                f"ring buffer holds {len(self._buf)} bytes, "
+                f"layout needs {need}")
+        if reset:
+            self._buf[:HEADER_BYTES] = bytes(HEADER_BYTES)
+        # Producer-local claim cursor: several slots may be claimed
+        # ahead of the published head (a submit fans a batch out before
+        # any publish lands).  Only the producing side advances it, so
+        # it lives on the object, not in the shared header.
+        self._claimed: int | None = None
+
+    @staticmethod
+    def required_bytes(capacity: int, slot_payload: int) -> int:
+        """Total backing-buffer size for a given geometry."""
+        return HEADER_BYTES + capacity * (slot_payload + SLOT_OVERHEAD)
+
+    # -- cursor plumbing -------------------------------------------------
+    def _read_u64(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _write_u64(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    @property
+    def head(self) -> int:
+        """Count of slots ever published (producer cursor)."""
+        return self._read_u64(_HEAD_OFF)
+
+    @property
+    def tail(self) -> int:
+        """Count of slots ever released (consumer cursor)."""
+        return self._read_u64(_TAIL_OFF)
+
+    @property
+    def occupancy(self) -> int:
+        """Published-but-unreleased slots (0 .. capacity)."""
+        return self.head - self.tail
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    def _slot_offset(self, sequence: int) -> int:
+        return HEADER_BYTES + ((sequence - 1) % self.capacity) * \
+            self.slot_stride
+
+    # -- producer side ---------------------------------------------------
+    def claim(self) -> ClaimedSlot | None:
+        """Reserve the next slot, or ``None`` when the ring is full."""
+        if self._claimed is None:
+            self._claimed = self.head
+        if self._claimed - self.tail >= self.capacity:
+            return None
+        sequence = self._claimed + 1
+        self._claimed = sequence
+        offset = self._slot_offset(sequence)
+        self._write_u64(offset, sequence)  # begin stamp
+        payload = self._buf[offset + 16:offset + 16 + self.slot_payload]
+        return ClaimedSlot(sequence, payload, offset)
+
+    def publish(self, claim: ClaimedSlot, used: int) -> None:
+        """Make a claimed slot visible to the consumer.
+
+        ``used`` is the payload byte count actually written; the end
+        stamp lands *after* it, and the head cursor last, so a consumer
+        that sees the new head is guaranteed coherent stamps + length.
+        """
+        if not 0 <= used <= self.slot_payload:
+            raise RingError(
+                f"slot used={used} outside [0, {self.slot_payload}]")
+        if claim.sequence != self.head + 1:
+            raise RingError(
+                f"publish out of order: claim seq {claim.sequence}, "
+                f"head {self.head}")
+        offset = claim._index
+        claim.payload.release()
+        self._write_u64(offset + 8, used)
+        self._write_u64(offset + 16 + self.slot_payload, claim.sequence)
+        self._write_u64(_HEAD_OFF, claim.sequence)
+
+    # -- consumer side ---------------------------------------------------
+    def try_pop(self) -> PoppedSlot | None:
+        """The oldest unconsumed slot, or ``None`` when the ring is empty.
+
+        Raises:
+            TornSlotError: the slot's stamps disagree with its expected
+                sequence — the producer died (or scribbled) mid-publish.
+        """
+        tail = self.tail
+        if self.head <= tail:
+            return None
+        sequence = tail + 1
+        offset = self._slot_offset(sequence)
+        begin = self._read_u64(offset)
+        end = self._read_u64(offset + 16 + self.slot_payload)
+        if begin != sequence or end != sequence:
+            raise TornSlotError(
+                f"slot seq {sequence}: stamps begin={begin} end={end}")
+        used = self._read_u64(offset + 8)
+        if used > self.slot_payload:
+            raise TornSlotError(
+                f"slot seq {sequence}: used={used} exceeds payload "
+                f"{self.slot_payload}")
+        payload = self._buf[offset + 16:offset + 16 + used]
+        return PoppedSlot(sequence, payload, offset)
+
+    def release(self, popped: PoppedSlot) -> None:
+        """Return a popped slot to the producer (advances tail)."""
+        if popped.sequence != self.tail + 1:
+            raise RingError(
+                f"release out of order: popped seq {popped.sequence}, "
+                f"tail {self.tail}")
+        popped.payload.release()
+        self._write_u64(_TAIL_OFF, popped.sequence)
+
+    def close(self) -> None:
+        """Drop the buffer view (required before shared memory unlink)."""
+        self._buf.release()

@@ -1,4 +1,4 @@
-"""ParallelExecutor: worker-count-invariant verdicts, lifecycle hygiene."""
+"""ParallelExecutor: persistent workers, tickets, telemetry, lifecycle."""
 
 from __future__ import annotations
 
@@ -6,15 +6,32 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
-from repro.serving import ParallelExecutor, replay_concurrent_drives
+from repro.serving import ParallelExecutor, default_worker_count
 
 
-def test_workers_must_be_positive(serving_ensemble):
+def test_negative_workers_rejected(serving_ensemble):
     with pytest.raises(ConfigurationError):
-        ParallelExecutor(serving_ensemble, workers=0)
+        ParallelExecutor(serving_ensemble, workers=-1)
+
+
+def test_zero_workers_runs_in_process(serving_ensemble,
+                                      tiny_driving_dataset):
+    """workers=0 is the plain path: bit-exact, no processes, no shards."""
+    images = tiny_driving_dataset.images[:12]
+    windows = tiny_driving_dataset.imu[:12]
+    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=0) as executor:
+        ticket = executor.submit(images=images, imu=windows)
+        assert ticket.inproc is not None and ticket.jobs == []
+        pooled = executor.collect(ticket)
+        assert executor.last_shards == []
+    np.testing.assert_array_equal(direct.probabilities, pooled.probabilities)
+    np.testing.assert_array_equal(direct.predictions, pooled.predictions)
 
 
 def test_single_worker_is_bit_exact(serving_ensemble, tiny_driving_dataset):
+    """One worker gets the whole batch: same row count, same GEMM, bit
+    for bit the same probabilities back through the response ring."""
     images = tiny_driving_dataset.images[:12]
     windows = tiny_driving_dataset.imu[:12]
     direct = serving_ensemble.predict_degraded(images=images, imu=windows)
@@ -24,8 +41,8 @@ def test_single_worker_is_bit_exact(serving_ensemble, tiny_driving_dataset):
     np.testing.assert_array_equal(direct.predictions, pooled.predictions)
 
 
-def test_four_workers_match_single_worker(serving_ensemble,
-                                          tiny_driving_dataset):
+def test_four_workers_match_in_process(serving_ensemble,
+                                       tiny_driving_dataset):
     """Shard execution must not change verdicts, order, or metadata.
 
     Probabilities are compared to BLAS rounding (GEMM blocking depends
@@ -43,69 +60,127 @@ def test_four_workers_match_single_worker(serving_ensemble,
     np.testing.assert_array_equal(direct.predictions, pooled.predictions)
     assert pooled.degraded == direct.degraded
     assert pooled.missing == direct.missing
-    # Shared buffers are reused across calls without corrupting results.
+    # The rings are reused across calls without corrupting results.
     np.testing.assert_array_equal(pooled.probabilities, again.probabilities)
-    # Degraded metadata survives the worker round-trip.
+    # Degraded metadata survives the worker round-trip, through a
+    # geometry that gained the imu-only modality after spawn.
     direct_imu = serving_ensemble.predict_degraded(imu=windows)
     np.testing.assert_allclose(direct_imu.probabilities,
                                imu_only.probabilities, atol=1e-7)
     assert imu_only.degraded and "frames" in imu_only.missing
 
 
-def test_tiny_batch_avoids_the_pool(serving_ensemble, tiny_driving_dataset):
-    """A 1-sample batch runs in-process even on a pooled executor."""
-    images = tiny_driving_dataset.images[:1]
-    windows = tiny_driving_dataset.imu[:1]
-    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
-    with ParallelExecutor(serving_ensemble, workers=4) as executor:
-        pooled = executor.predict_degraded(images=images, imu=windows)
-    np.testing.assert_array_equal(direct.probabilities, pooled.probabilities)
+def test_submit_overlaps_batches_before_collect(serving_ensemble,
+                                                tiny_driving_dataset):
+    """The async front-end: several tickets in flight, collected later
+    in submission order — the server's two-phase step in miniature."""
+    images = tiny_driving_dataset.images
+    windows = tiny_driving_dataset.imu
+    direct = [serving_ensemble.predict_degraded(
+        images=images[lo:lo + 6], imu=windows[lo:lo + 6])
+        for lo in (0, 6, 12)]
+    with ParallelExecutor(serving_ensemble, workers=2) as executor:
+        tickets = [executor.submit(images=images[lo:lo + 6],
+                                   imu=windows[lo:lo + 6])
+                   for lo in (0, 6, 12)]
+        assert all(len(t.jobs) == 2 for t in tickets)
+        results = [executor.collect(t) for t in tickets]
+    for want, got in zip(direct, results):
+        np.testing.assert_array_equal(want.predictions, got.predictions)
 
 
-def test_pooled_executor_reports_shard_telemetry(serving_ensemble,
+def test_workers_report_shard_and_ring_telemetry(serving_ensemble,
                                                  tiny_driving_dataset):
-    """Shard intervals, the shard histogram, and worker-registry merge."""
+    """Shard intervals, histograms, status blocks, occupancy gauges."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    images = tiny_driving_dataset.images[:10]
+    windows = tiny_driving_dataset.imu[:10]
+    with ParallelExecutor(serving_ensemble, workers=2,
+                          metrics=registry) as executor:
+        executor.predict_degraded(images=images, imu=windows)
+        shards = list(executor.last_shards)
+        occupancy = executor.ring_occupancy()
+        statuses = [executor.worker_status(i) for i in range(2)]
+    assert [(lo, hi) for lo, hi, _, _ in shards] == [(0, 5), (5, 10)]
+    assert all(end >= start for _, _, start, end in shards)
+    shard_hist = registry.get("serving_executor_shard_seconds")
+    assert shard_hist is not None and shard_hist.count == 2
+    handoff = registry.get("serving_executor_handoff_seconds")
+    assert handoff is not None and handoff.count == 2
+    # Between steps both rings are drained.
+    assert occupancy == {0: (0, 0), 1: (0, 0)}
+    assert registry.get("serving_ring_occupancy", worker="0",
+                        ring="request").value == 0
+    for status in statuses:
+        assert status["alive"] and status["plans_pinned"]
+        assert status["jobs_done"] == 1
+        assert status["busy_seconds"] > 0
+
+
+def test_worker_metrics_drain_back_to_parent(serving_ensemble,
+                                             tiny_driving_dataset):
+    """Telemetry recorded inside the forked workers (workspace reuse,
+    backend counters) rides the response meta and merges into the
+    parent registry — the fork doesn't black-hole observability."""
     from repro.obs.metrics import get_registry
 
     images = tiny_driving_dataset.images[:10]
     windows = tiny_driving_dataset.imu[:10]
     with ParallelExecutor(serving_ensemble, workers=2) as executor:
         executor.predict_degraded(images=images, imu=windows)
-        shards = list(executor.last_shards)
-    assert [(lo, hi) for lo, hi, _, _ in shards] == [(0, 5), (5, 10)]
-    assert all(end >= start for _, _, start, end in shards)
-    registry = get_registry()
-    shard_hist = registry.get("serving_executor_shard_seconds")
-    assert shard_hist is not None and shard_hist.count == 2
-    # The workers' own telemetry (workspace reuse counted inside the
-    # forked processes) drained back and merged into the parent registry.
-    misses = registry.get("nn_workspace_misses_total")
+    misses = get_registry().get("nn_workspace_misses_total")
     assert misses is not None and misses.value > 0
 
 
-def test_in_process_fallback_leaves_no_shards(serving_ensemble,
-                                              tiny_driving_dataset):
-    with ParallelExecutor(serving_ensemble, workers=2) as executor:
-        executor.predict_degraded(
-            images=tiny_driving_dataset.images[:1],
-            imu=tiny_driving_dataset.imu[:1])
-        assert executor.last_shards == []
+def test_single_sample_batch_round_trips(serving_ensemble,
+                                         tiny_driving_dataset):
+    """count < workers: the batch collapses to one shard, one worker."""
+    images = tiny_driving_dataset.images[:1]
+    windows = tiny_driving_dataset.imu[:1]
+    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=4) as executor:
+        ticket = executor.submit(images=images, imu=windows)
+        assert len(ticket.jobs) == 1
+        pooled = executor.collect(ticket)
+    np.testing.assert_array_equal(direct.probabilities, pooled.probabilities)
 
 
-def test_close_is_idempotent(serving_ensemble):
+def test_larger_batch_rebuilds_geometry(serving_ensemble,
+                                        tiny_driving_dataset):
+    """A batch beyond max_rows forces a one-time ring rebuild."""
+    images = tiny_driving_dataset.images
+    windows = tiny_driving_dataset.imu
+    with ParallelExecutor(serving_ensemble, workers=1,
+                          max_rows=4) as executor:
+        small = executor.predict_degraded(images=images[:3],
+                                          imu=windows[:3])
+        big = executor.predict_degraded(images=images[:9],
+                                        imu=windows[:9])
+    direct = serving_ensemble.predict_degraded(images=images[:9],
+                                               imu=windows[:9])
+    assert small.predictions.shape == (3,)
+    np.testing.assert_array_equal(direct.predictions, big.predictions)
+
+
+def test_close_is_idempotent(serving_ensemble, tiny_driving_dataset):
     executor = ParallelExecutor(serving_ensemble, workers=2)
+    executor.predict_degraded(images=tiny_driving_dataset.images[:4],
+                              imu=tiny_driving_dataset.imu[:4])
     executor.close()
     executor.close()  # second close must be a no-op, not an error
 
 
-def test_replay_verdicts_match_across_worker_counts(serving_ensemble):
-    """The full serving replay delivers the same verdict stream at 1 and
-    2 workers — the parallel path changes wall-clock, never answers."""
-    serial = replay_concurrent_drives(serving_ensemble, drivers=4,
-                                      duration=2.0, seed=11, workers=1)
-    pooled = replay_concurrent_drives(serving_ensemble, drivers=4,
-                                      duration=2.0, seed=11, workers=2)
-    assert pooled.workers == 2
-    assert serial.verdicts == pooled.verdicts
-    assert serial.degraded_verdicts == pooled.degraded_verdicts
-    assert serial.verdicts_per_session == pooled.verdicts_per_session
+def test_close_before_first_submit(serving_ensemble):
+    """No lazy spawn ever happened: nothing to tear down, no error."""
+    ParallelExecutor(serving_ensemble, workers=2).close()
+
+
+def test_default_worker_count_is_cores_minus_one(monkeypatch):
+    import os
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    assert default_worker_count() == 3
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert default_worker_count() == 0

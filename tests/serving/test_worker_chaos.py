@@ -1,0 +1,147 @@
+"""Worker crash chaos: kills mid-flight, requeue-once, backoff respawn.
+
+The crash contract under test: a SIGKILLed worker surfaces as
+``WorkerCrashError`` from ``collect``, the server's dispatch-failure
+path requeues the stranded requests exactly once, the dead slot
+respawns after its backoff with plans re-pinned, and the end-to-end
+zero-loss ledger still balances when the scripted chaos schedule is
+shooting workers during a full serving run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import WorkerCrashError
+from repro.serving import (
+    InferenceServer,
+    ParallelExecutor,
+    run_serving_chaos,
+    standard_serving_schedule,
+)
+
+from .test_server import feed
+
+
+def test_kill_mid_flight_raises_worker_crash_error(serving_ensemble,
+                                                   tiny_driving_dataset):
+    images = tiny_driving_dataset.images[:8]
+    windows = tiny_driving_dataset.imu[:8]
+    with ParallelExecutor(serving_ensemble, workers=1) as executor:
+        executor.predict_degraded(images=images, imu=windows)  # spawn + pin
+        executor.hold_worker(0, True)      # park after the next pickup
+        ticket = executor.submit(images=images, imu=windows)
+        time.sleep(0.2)                    # let the worker pop and park
+        assert executor.kill_worker(0) is not None
+        with pytest.raises(WorkerCrashError):
+            executor.collect(ticket, timeout=10.0)
+        assert executor.worker_status(0)["crashes"] == 1
+
+
+def test_respawned_worker_repins_plans_and_serves(serving_ensemble,
+                                                  tiny_driving_dataset):
+    """After a kill + backoff the slot comes back fully warmed."""
+    images = tiny_driving_dataset.images[:6]
+    windows = tiny_driving_dataset.imu[:6]
+    with ParallelExecutor(serving_ensemble, workers=1,
+                          respawn_backoff=0.05) as executor:
+        before = executor.predict_degraded(images=images, imu=windows)
+        executor.kill_worker(0)
+        # The silent death is declared at the next submit; that batch
+        # serves in-process while the slot sits in its backoff window.
+        fallback = executor.predict_degraded(images=images, imu=windows)
+        assert executor.last_shards == []
+        assert executor.worker_status(0)["crashes"] == 1
+        time.sleep(0.15)                   # past the first backoff window
+        after = executor.predict_degraded(images=images, imu=windows)
+        status = executor.worker_status(0)
+        assert status["alive"]
+        assert status["crashes"] == 1
+        assert status["plans_pinned"]
+        assert executor.wait_until_pinned(0)
+        assert executor.last_shards != []  # served by the respawn
+        assert (after.predictions == before.predictions).all()
+        assert (fallback.predictions == before.predictions).all()
+
+
+def test_all_dead_falls_back_in_process(serving_ensemble,
+                                        tiny_driving_dataset):
+    """Backoff window with no live worker: serve in-process, count it."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    images = tiny_driving_dataset.images[:6]
+    windows = tiny_driving_dataset.imu[:6]
+    with ParallelExecutor(serving_ensemble, workers=1,
+                          respawn_backoff=30.0,
+                          metrics=registry) as executor:
+        executor.predict_degraded(images=images, imu=windows)
+        executor.kill_worker(0)
+        result = executor.predict_degraded(images=images, imu=windows)
+        assert result.predictions.shape == (6,)
+        assert executor.last_shards == []  # ran in-process
+        fallbacks = registry.get("serving_executor_inproc_fallbacks_total")
+        assert fallbacks is not None and fallbacks.value == 1
+
+
+def test_server_requeues_crashed_batch_exactly_once(serving_ensemble,
+                                                    tiny_driving_dataset):
+    """A mid-collect worker kill strands the batch once, never twice.
+
+    The stranded requests ride the existing dispatch-failure path:
+    requeued with a retry budget of one, then delivered by the next
+    step (respawned worker or in-process fallback — either way the
+    verdict arrives and the ledger shows exactly one requeue).
+    """
+    server = InferenceServer.for_model(serving_ensemble, max_batch=4,
+                                       workers=1)
+    try:
+        sid = server.open_session(0)
+        now = feed(server, sid, tiny_driving_dataset, sample=0)
+        assert server.request_verdict(sid, now)
+        assert len(server.drain(now)) == 1     # prime: spawns the worker
+        executor = server._executors["base"]
+        executor.hold_worker(0, True)
+        now = feed(server, sid, tiny_driving_dataset, sample=1,
+                   start=now + 0.25)
+        assert server.request_verdict(sid, now)
+        killer = threading.Timer(0.3, executor.kill_worker, args=(0,))
+        killer.start()
+        try:
+            stranded = server.drain(now)       # collect hits the corpse
+        finally:
+            killer.join()
+        assert stranded == []
+        assert isinstance(server.last_dispatch_error, WorkerCrashError)
+        assert server.stats.dispatch_failures == 1
+        assert server.scheduler.stats.requeued == 1
+        time.sleep(0.15)                       # past the respawn backoff
+        redelivered = server.drain(now + 1.0)
+        assert len(redelivered) == 1
+        assert redelivered[0].session_id == sid
+        assert server.scheduler.stats.requeued == 1   # exactly once
+        assert server.stats.requests_failed == 0
+    finally:
+        server.close()
+
+
+def test_standard_schedule_gains_worker_kill_fault():
+    plain = standard_serving_schedule(duration=10.0)
+    armed = standard_serving_schedule(duration=10.0, worker_kill=True)
+    assert not any(e.kind == "worker_kill" for e in plain.events)
+    kills = [e for e in armed.events if e.kind == "worker_kill"]
+    assert len(kills) == 1 and kills[0].target == "shard-0"
+
+
+@pytest.mark.slow
+def test_serving_chaos_with_worker_kills_loses_nothing(serving_ensemble):
+    """Full chaos run with persistent workers being shot: ledger holds."""
+    report = run_serving_chaos(serving_ensemble, shards=3, drivers=2,
+                               duration=8.0, seed=0, workers=2)
+    assert report.workers == 2
+    assert report.worker_kills >= 1
+    assert report.lost == 0
+    assert report.violations == []
