@@ -28,7 +28,12 @@ exponential backoff, drains the surviving shards so no stale response
 lingers, and raises :class:`~repro.exceptions.WorkerCrashError` — the
 server's dispatch-failure path requeues the batch exactly once.  When
 every worker is down and inside its backoff window, batches fall back
-to in-process execution rather than stalling.
+to in-process execution rather than stalling.  Backpressure is never
+mistaken for a crash: a submit that finds a request ring full drains
+the worker's finished responses into a parent-side stash so the
+pipeline keeps moving, and a ring-geometry rebuild (new modality,
+oversized batch) is deferred — served in-process — while earlier
+tickets still have jobs riding the rings it would tear down.
 
 ``workers=0`` bypasses this module's process machinery entirely and is
 bit-exact with the plain in-process path because it *is* that path.
@@ -64,6 +69,10 @@ RING_SLOTS = 8
 
 #: ``job_id`` 0 is the shutdown sentinel — workers exit on popping it.
 SHUTDOWN_JOB = 0
+
+#: Returned by ``_publish_job`` when the worker is alive but its request
+#: ring stayed full past the deadline — backpressure, not a crash.
+_BUSY = object()
 
 #: Request slot header: job_id, n_rows, has_images, has_imu, t_publish.
 _REQ_HEADER = struct.Struct("<QQQQd")
@@ -164,6 +173,35 @@ def _read_slab(payload, offset: int, rows: int, shape: tuple[int, ...],
     return flat.reshape((rows, *shape)).copy()
 
 
+def _encode_meta(error: str | None, result, meta_max: int) -> bytes:
+    """Pickle the response meta, degrading until it fits its slab.
+
+    Metrics go first (best-effort), then the error repr / missing tuple
+    is truncated — an oversized meta must degrade the report, never
+    crash the worker (the slab slice assignment would raise otherwise,
+    converting a reportable model error into a crash + requeue cycle).
+    """
+    meta = {"error": error} if error else {
+        "missing": tuple(result.missing),
+        "metrics": get_registry().drain(),
+    }
+    blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) <= meta_max:
+        return blob
+    meta.pop("metrics", None)   # metrics are best-effort
+    blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) <= meta_max:
+        return blob
+    # meta_max // 8 characters pickle well under meta_max bytes even if
+    # every character needs four UTF-8 bytes.
+    if error:
+        meta = {"error": error[:meta_max // 8]}
+    else:
+        meta = {"missing": tuple(str(m)[:64]
+                                 for m in list(result.missing)[:16])}
+    return pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+
+
 def _worker_main(model, backend: str, geometry: _Geometry, req_name: str,
                  resp_name: str, status_name: str) -> None:
     """The worker loop: pop request slots, predict, publish responses.
@@ -216,8 +254,14 @@ def _worker_main(model, backend: str, geometry: _Geometry, req_name: str,
         if job_id == SHUTDOWN_JOB:
             requests.release(item)
             break
-        while status[STATUS_HOLD]:
-            time.sleep(0.0005)  # chaos lever: parked mid-flush
+        orphaned = False
+        while status[STATUS_HOLD]:  # chaos lever: parked mid-flush
+            if os.getppid() != parent:
+                orphaned = True     # parked when the parent died hard
+                break
+            time.sleep(0.0005)
+        if orphaned:
+            break
         kwargs = {}
         if has_images:
             kwargs["images"] = _read_slab(
@@ -239,16 +283,14 @@ def _worker_main(model, backend: str, geometry: _Geometry, req_name: str,
         t_done = time.perf_counter()
         claim = responses.claim()
         while claim is None:    # parent is behind; space frees on collect
+            if os.getppid() != parent:
+                orphaned = True     # a SIGKILLed parent never collects
+                break
             time.sleep(0.0001)
             claim = responses.claim()
-        meta = {"error": error} if error else {
-            "missing": tuple(result.missing),
-            "metrics": get_registry().drain(),
-        }
-        blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
-        if len(blob) > geometry.meta_max:
-            meta.pop("metrics", None)   # metrics are best-effort
-            blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        if orphaned:
+            break
+        blob = _encode_meta(error, result, geometry.meta_max)
         rows = 0 if error else len(result.predictions)
         _RESP_HEADER.pack_into(
             claim.payload, 0, job_id, rows,
@@ -308,6 +350,10 @@ class _WorkerHandle:
         self.requests: SlotRing | None = None
         self.responses: SlotRing | None = None
         self.status: np.ndarray | None = None
+        #: Responses popped ahead of their ``collect`` (the submit-side
+        #: backpressure drain), keyed by job id.  Entries are decoded
+        #: copies, so they stay valid across ring teardown and respawn.
+        self.stash: dict[int, tuple] = {}
         self.crashes = 0
         self.next_spawn = 0.0   # monotonic instant respawn is allowed
         self.spawned_at = 0.0
@@ -402,9 +448,21 @@ class ParallelExecutor:
             "serving_executor_inproc_fallbacks_total",
             "Batches executed in-process because no worker was available")
         self._geometry: _Geometry | None = None
+        #: Merged layout awaiting a safe rebuild (set when a batch
+        #: needed new slabs while tickets were in flight; applied by
+        #: ``collect`` once the last outstanding ticket drains).
+        self._pending_geometry: _Geometry | None = None
         self._handles = [_WorkerHandle(i) for i in range(self.workers)]
         self._job_ids = itertools.count(1)
         self._ctx = get_context("fork")
+        #: Worker-backed tickets submitted but not yet collected; a
+        #: geometry rebuild is refused while any exist, because tearing
+        #: the rings down would strand their in-flight jobs.
+        self._inflight = 0
+        #: Jobs published for tickets that were aborted mid-submit
+        #: (``job_id -> worker``): their responses are dropped on
+        #: arrival instead of being stashed forever.
+        self._abandoned: dict[int, int] = {}
 
     # -- geometry --------------------------------------------------------
     def _probe(self, images, imu) -> tuple[int, str]:
@@ -430,9 +488,14 @@ class ParallelExecutor:
     def _ensure_geometry(self, images, imu, count: int) -> bool:
         """Size (or re-size) the ring layout for this batch's shapes.
 
-        Returns False when the batch cannot be accommodated even after
-        a rebuild (shouldn't happen — defensive in-process fallback).
-        A modality first seen after workers spawned forces a one-time
+        Returns False when the batch cannot ride the rings right now:
+        either it cannot be accommodated even after a rebuild
+        (shouldn't happen — defensive), or a rebuild is needed while
+        earlier tickets still have jobs in flight — tearing the rings
+        down would strand those jobs, so the triggering batch runs
+        in-process instead and the rebuild happens on the first submit
+        after the step drains.  A modality first seen after workers
+        spawned (or a batch beyond ``max_rows``) forces that one-time
         rebuild: every worker is torn down and respawns lazily with
         slabs for the new stream.
         """
@@ -440,17 +503,27 @@ class ParallelExecutor:
         if current is not None and current.fits(images, imu, count):
             return True
         merged = self._build_geometry(images, imu, count)
-        if current is not None:
+        base = self._pending_geometry or current
+        if base is not None:
             # Preserve slabs for streams this batch happens not to carry.
             merged = _Geometry(
-                max_rows=max(current.max_rows, merged.max_rows),
-                img_shape=merged.img_shape or current.img_shape,
-                img_dtype=merged.img_dtype or current.img_dtype,
-                imu_shape=merged.imu_shape or current.imu_shape,
-                imu_dtype=merged.imu_dtype or current.imu_dtype,
+                max_rows=max(base.max_rows, merged.max_rows),
+                img_shape=merged.img_shape or base.img_shape,
+                img_dtype=merged.img_dtype or base.img_dtype,
+                imu_shape=merged.imu_shape or base.imu_shape,
+                imu_dtype=merged.imu_dtype or base.imu_dtype,
                 classes=merged.classes, prob_dtype=merged.prob_dtype,
                 meta_max=self.meta_max)
+        if current is not None and self._inflight:
+            # Rebuilding now would tear the rings down under in-flight
+            # tickets: remember the merged layout and apply it when the
+            # last outstanding ticket collects.  This batch (and any
+            # like it until then) serves in-process.
+            self._pending_geometry = merged
+            return False
+        if current is not None:
             self._teardown_workers()
+        self._pending_geometry = None
         self._geometry = merged
         return merged.fits(images, imu, count)
 
@@ -525,8 +598,15 @@ class ParallelExecutor:
         handle.process.join(timeout=1.0)
         handle.process = None
         handle.release_resources()
+        # Abandoned jobs on this worker died with it — their responses
+        # will never arrive, so stop waiting to drop them.
+        self._abandoned = {job_id: worker for job_id, worker
+                           in self._abandoned.items()
+                           if worker != handle.index}
 
     def _teardown_workers(self) -> None:
+        # Nothing abandoned can arrive once the rings are gone.
+        self._abandoned.clear()
         for handle in self._handles:
             if handle.alive:
                 self._send_shutdown(handle)
@@ -603,9 +683,12 @@ class ParallelExecutor:
 
         The write side of the async front-end: inputs land in request
         slots and the call returns without waiting for any forward
-        pass.  When no worker is available (workers=0, or every slot is
-        crashed and inside backoff) the batch runs in-process here and
-        the ticket carries the finished result.
+        pass.  The batch runs in-process here instead — the ticket
+        carrying the finished result — when no worker is available
+        (workers=0, or every slot is crashed and inside backoff), when
+        the batch needs a ring rebuild while earlier tickets are still
+        in flight, or when a live worker stays saturated past the
+        publish deadline.
         """
         if images is not None:
             images = np.ascontiguousarray(images)
@@ -629,21 +712,73 @@ class ParallelExecutor:
                  for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
         for handle, (lo, hi) in zip(workers, pairs):
             job = self._publish_job(handle, images, imu, lo, hi)
-            if job is None:     # worker died under us: abort to in-process
+            if job is None:     # worker died under us: abort the ticket
+                self._abandon(ticket)
                 self._declare_crashed(handle)
                 raise WorkerCrashError(
                     f"worker {handle.index} died during submit")
+            if job is _BUSY:
+                # Alive but saturated past the publish deadline (a hung
+                # or deeply backlogged worker): don't kill a live
+                # process over backpressure — abandon the shards
+                # already published and run the whole batch in-process.
+                self._abandon(ticket)
+                ticket.jobs = []
+                self._fallbacks.inc()
+                with using_backend(self.backend):
+                    ticket.inproc = self.model.predict_degraded(
+                        images=images, imu=imu)
+                return ticket
             ticket.jobs.append(job)
+        if ticket.jobs:
+            self._inflight += 1
         return ticket
 
+    def _abandon(self, ticket: ExecutorTicket) -> None:
+        """Mark a ticket's published jobs as never-to-be-collected."""
+        for job in ticket.jobs:
+            if self._handles[job.worker].stash.pop(job.job_id, None) is None:
+                self._abandoned[job.job_id] = job.worker
+
+    def _drain_responses(self, handle: _WorkerHandle) -> bool:
+        """Pop any completed responses into the handle's stash.
+
+        Lets submit free response slots while the request ring is full:
+        a worker can only pipeline ring-capacity jobs before it blocks
+        publishing, so a parent that never pops mid-phase would turn a
+        merely backpressured worker into a spurious crash verdict.
+        Returns False when the ring is torn (the worker died
+        mid-publish).
+        """
+        while handle.responses is not None:
+            try:
+                item = handle.responses.try_pop()
+            except TornSlotError:
+                return False
+            if item is None:
+                return True
+            response = self._decode_response(handle, item)
+            job_id = response[0]
+            if self._abandoned.pop(job_id, None) is None:
+                handle.stash[job_id] = response[1:]
+        return True
+
     def _publish_job(self, handle: _WorkerHandle, images, imu,
-                     lo: int, hi: int) -> _Job | None:
+                     lo: int, hi: int):
+        """Write one shard into the worker's request ring.
+
+        Returns the :class:`_Job` on success, ``None`` when the worker
+        died (or tore a slot) under us, and :data:`_BUSY` when the ring
+        stayed full past the deadline with the worker still alive.
+        """
         geometry = self._geometry
         deadline = time.monotonic() + 10.0
         claim = handle.requests.claim()
         while claim is None:
-            if not handle.alive or time.monotonic() > deadline:
+            if not self._drain_responses(handle) or not handle.alive:
                 return None
+            if time.monotonic() > deadline:
+                return _BUSY
             time.sleep(0.0001)
             claim = handle.requests.claim()
         rows = hi - lo
@@ -679,6 +814,22 @@ class ParallelExecutor:
         if ticket.inproc is not None:
             self.last_shards = []
             return ticket.inproc
+        try:
+            return self._collect_jobs(ticket, timeout)
+        finally:
+            if ticket.jobs:
+                self._inflight = max(0, self._inflight - 1)
+                if not self._inflight and \
+                        self._pending_geometry is not None:
+                    # The deferred rebuild, now that no ticket rides
+                    # the rings: workers respawn lazily with the
+                    # merged slabs on the next submit.
+                    self._teardown_workers()
+                    self._geometry = self._pending_geometry
+                    self._pending_geometry = None
+
+    def _collect_jobs(self, ticket: ExecutorTicket,
+                      timeout: float) -> DegradedPrediction:
         geometry = self._geometry
         probabilities = np.empty((ticket.count, geometry.classes),
                                  dtype=geometry.prob_dtype)
@@ -727,12 +878,16 @@ class ParallelExecutor:
                         deadline: float):
         """Pop responses until ``job``'s arrives; None means crashed.
 
-        Responses come back in per-worker FIFO order, so anything with
-        an earlier job id belongs to a batch that already failed — it
-        is drained and dropped here, which is what keeps an aborted
-        ticket from poisoning the next one.
+        The stash is checked first — submit's backpressure drain may
+        already have popped this job's response.  Responses come back
+        in per-worker FIFO order; one with a different job id belongs
+        either to a ticket aborted mid-submit (dropped, via the
+        abandoned set) or to a later ticket still awaiting its collect
+        (stashed), so an aborted batch never poisons the next one.
         """
-        geometry = self._geometry
+        stashed = handle.stash.pop(job.job_id, None)
+        if stashed is not None:
+            return stashed
         misses = 0
         while True:
             try:
@@ -751,23 +906,36 @@ class ParallelExecutor:
                     time.sleep(0.00005)
                 continue
             misses = 0
-            (job_id, rows, is_degraded, meta_len, t_pickup,
-             t_done) = _RESP_HEADER.unpack_from(item.payload, 0)
-            if job_id != job.job_id:
-                handle.responses.release(item)  # stale: aborted batch
-                continue
-            probs = None
-            if rows:
-                probs = np.frombuffer(
-                    item.payload, dtype=np.dtype(geometry.prob_dtype),
-                    count=rows * geometry.classes,
-                    offset=_RESP_HEADER.size
-                ).reshape(rows, geometry.classes).copy()
-            meta_offset = _RESP_HEADER.size + geometry.prob_slab
-            meta = pickle.loads(
-                bytes(item.payload[meta_offset:meta_offset + meta_len]))
-            handle.responses.release(item)
-            return rows, is_degraded, meta, probs, t_pickup, t_done
+            response = self._decode_response(handle, item)
+            job_id = response[0]
+            if job_id == job.job_id:
+                return response[1:]
+            if self._abandoned.pop(job_id, None) is None:
+                handle.stash[job_id] = response[1:]
+
+    def _decode_response(self, handle: _WorkerHandle, item):
+        """Copy one popped response slot out and release it.
+
+        Returns ``(job_id, rows, degraded, meta, probs, t_pickup,
+        t_done)`` with the probabilities copied, so the tuple stays
+        valid after the slot returns to the worker (or the ring is torn
+        down by a later rebuild).
+        """
+        geometry = self._geometry
+        (job_id, rows, is_degraded, meta_len, t_pickup,
+         t_done) = _RESP_HEADER.unpack_from(item.payload, 0)
+        probs = None
+        if rows:
+            probs = np.frombuffer(
+                item.payload, dtype=np.dtype(geometry.prob_dtype),
+                count=rows * geometry.classes,
+                offset=_RESP_HEADER.size
+            ).reshape(rows, geometry.classes).copy()
+        meta_offset = _RESP_HEADER.size + geometry.prob_slab
+        meta = pickle.loads(
+            bytes(item.payload[meta_offset:meta_offset + meta_len]))
+        handle.responses.release(item)
+        return job_id, rows, is_degraded, meta, probs, t_pickup, t_done
 
     # -- facade + telemetry ----------------------------------------------
     def predict_degraded(self, *, images: np.ndarray | None = None,

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.serving import ParallelExecutor, default_worker_count
+from repro.serving.executor import RING_SLOTS, _encode_meta
 
 
 def test_negative_workers_rejected(serving_ensemble):
@@ -162,6 +165,68 @@ def test_larger_batch_rebuilds_geometry(serving_ensemble,
                                                imu=windows[:9])
     assert small.predictions.shape == (3,)
     np.testing.assert_array_equal(direct.predictions, big.predictions)
+
+
+def test_rebuild_deferred_while_tickets_in_flight(serving_ensemble,
+                                                  tiny_driving_dataset):
+    """A batch needing a ring rebuild mid-step must not tear the rings
+    down under earlier, uncollected tickets: it serves in-process, the
+    in-flight ticket collects unharmed (no spurious crash, no timeout),
+    and the rebuild lands once the step drains."""
+    images = tiny_driving_dataset.images[:4]
+    windows = tiny_driving_dataset.imu[:4]
+    direct_imu = serving_ensemble.predict_degraded(imu=windows)
+    direct_both = serving_ensemble.predict_degraded(images=images,
+                                                    imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=1) as executor:
+        first = executor.submit(imu=windows)    # spawns imu-only rings
+        assert first.jobs
+        second = executor.submit(images=images, imu=windows)
+        assert second.inproc is not None        # rebuild deferred
+        got_first = executor.collect(first, timeout=10.0)
+        got_second = executor.collect(second)
+        assert executor.worker_status(0)["crashes"] == 0
+        third = executor.submit(images=images, imu=windows)
+        assert third.jobs                       # rebuilt after the drain
+        got_third = executor.collect(third, timeout=10.0)
+    np.testing.assert_array_equal(direct_imu.predictions,
+                                  got_first.predictions)
+    np.testing.assert_array_equal(direct_both.predictions,
+                                  got_second.predictions)
+    np.testing.assert_array_equal(direct_both.predictions,
+                                  got_third.predictions)
+
+
+def test_deep_backlog_is_backpressure_not_a_crash(serving_ensemble,
+                                                  tiny_driving_dataset):
+    """More batches in one phase than the rings can pipeline (request
+    slots + response slots + one in compute): submit drains finished
+    responses to keep the worker moving instead of misreading the full
+    ring as a crash and shooting a healthy process."""
+    images = tiny_driving_dataset.images[:2]
+    windows = tiny_driving_dataset.imu[:2]
+    direct = serving_ensemble.predict_degraded(images=images, imu=windows)
+    with ParallelExecutor(serving_ensemble, workers=1) as executor:
+        tickets = [executor.submit(images=images, imu=windows)
+                   for _ in range(3 * RING_SLOTS)]
+        assert all(t.inproc is None and t.jobs for t in tickets)
+        results = [executor.collect(t, timeout=10.0) for t in tickets]
+        assert executor.worker_status(0)["crashes"] == 0
+    for got in results:
+        np.testing.assert_array_equal(direct.predictions, got.predictions)
+
+
+def test_encode_meta_truncates_instead_of_overflowing():
+    """A model error whose repr exceeds the meta slab degrades to a
+    truncated report — never an oversized blob that would crash the
+    worker on the slab slice assignment."""
+    meta_max = 1 << 16
+    small = _encode_meta("ValueError('bad row')", None, meta_max)
+    assert pickle.loads(small) == {"error": "ValueError('bad row')"}
+    huge = _encode_meta("ValueError(" + "x" * (4 * meta_max) + ")",
+                        None, meta_max)
+    assert len(huge) <= meta_max
+    assert pickle.loads(huge)["error"].startswith("ValueError(")
 
 
 def test_close_is_idempotent(serving_ensemble, tiny_driving_dataset):
