@@ -20,7 +20,11 @@ Subcommands mirror the system's lifecycle:
 * ``serve``     — run the micro-batched inference server; ``--replay``
   pushes N concurrent scripted drives through it and prints a
   throughput/latency report plus the metrics snapshot and a sample
-  request trace (``--metrics-out`` saves the snapshot as JSON).
+  request trace (``--metrics-out`` saves the snapshot as JSON);
+  ``--scenario spec.json`` replays a declarative scenario instead of
+  the default sweep.
+* ``scenario``  — validate/summarize a scenario spec, bootstrap one
+  with ``--init``, or preview its training windows with ``--training``.
 * ``stats``     — render a saved metrics snapshot (human table or
   Prometheus text format) without the process that produced it;
   ``--fleet`` merges several per-shard/per-agent snapshots into one
@@ -157,16 +161,60 @@ def _load_or_train_model(args: argparse.Namespace):
     return ensemble
 
 
+def _load_scenario(args: argparse.Namespace):
+    """The ``--scenario`` spec file, parsed and validated (or ``None``)."""
+    path = getattr(args, "scenario", None)
+    if not path:
+        return None
+    from repro.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec.load(path)
+    print(f"Loaded scenario {spec.name!r}: {spec.drivers} drivers, "
+          f"{spec.duration:.0f} s at {1 / spec.grid_period:.0f} Hz, "
+          f"{len(spec.timelines)} timeline(s), "
+          f"{'extended' if spec.is_extended else 'paper'} label space")
+    return spec
+
+
+def _model_for_scenario(args: argparse.Namespace, spec):
+    """A model fit for ``spec``'s label space.
+
+    Extended scenarios (DROWSY / CAMERA_COVERED scheduled) need extended
+    heads; without ``--model`` one is trained on the scenario's own
+    training windows — the first consumer of the compiled spec.
+    """
+    if getattr(args, "model", None) or spec is None or not spec.is_extended:
+        return _load_or_train_model(args)
+    from repro.scenarios import scenario_training_set, train_extended_ensemble
+
+    print(f"No --model given; training extended heads on scenario "
+          f"{spec.name!r}'s own windows ({args.train_epochs} epoch(s))...")
+    rng = np.random.default_rng(args.seed)
+    dataset = scenario_training_set(spec)
+    from repro.core import CnnConfig, RnnConfig
+
+    return train_extended_ensemble(
+        dataset,
+        cnn_config=CnnConfig(epochs=args.train_epochs),
+        rnn_config=RnnConfig(epochs=2 * args.train_epochs),
+        rng=rng)
+
+
 def _cmd_serving_chaos(args: argparse.Namespace) -> int:
     from repro.serving import run_serving_chaos
 
-    ensemble = _load_or_train_model(args)
-    print(f"Running serving chaos: {args.drivers} drivers on "
-          f"{args.shards} shards, {args.duration:.0f} s drive "
-          f"(seed {args.seed})...")
+    scenario = _load_scenario(args)
+    ensemble = _model_for_scenario(args, scenario)
+    drivers = scenario.drivers if scenario is not None else args.drivers
+    duration = scenario.duration if scenario is not None else args.duration
+    seed = scenario.seed if scenario is not None else args.seed
+    print(f"Running serving chaos: {drivers} drivers on "
+          f"{args.shards} shards, {duration:.0f} s drive "
+          f"(seed {seed})...")
     report = run_serving_chaos(
         ensemble, shards=args.shards, drivers=args.drivers,
-        duration=args.duration, seed=args.seed, workers=args.workers)
+        duration=args.duration, seed=args.seed, workers=args.workers,
+        scenario=scenario)
     print()
     print(report.format_report())
     if args.metrics_out:
@@ -290,9 +338,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "pass --replay to run N concurrent scripted drives "
               "through the inference server.")
         return 2
-    ensemble = _load_or_train_model(args)
-    print(f"Replaying {args.drivers} concurrent scripted drives "
-          f"({args.duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
+    scenario = _load_scenario(args)
+    ensemble = _model_for_scenario(args, scenario)
+    drivers = scenario.drivers if scenario is not None else args.drivers
+    duration = scenario.duration if scenario is not None else args.duration
+    print(f"Replaying {drivers} concurrent scripted drives "
+          f"({duration:.0f} s, micro-batch {args.max_batch or 'auto'}, "
           f"deadline {args.deadline_ms:.0f} ms, {args.workers} worker(s), "
           f"backend {args.backend}, "
           f"{args.kill_camera} camera(s) killed mid-replay)...")
@@ -303,7 +354,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ensemble, drivers=args.drivers, duration=args.duration,
             max_batch=args.max_batch, max_delay=args.deadline_ms / 1e3,
             kill_camera=args.kill_camera, seed=args.seed,
-            workers=args.workers, backend=args.backend)
+            workers=args.workers, backend=args.backend,
+            scenario=scenario)
     print()
     print(report.format_report())
     from repro.obs import bundle, render_text, render_traces, save_snapshot
@@ -358,6 +410,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if args.traces:
             print()
             print(render_traces(document, limit=args.traces))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioSpec, compile_scenario
+
+    if args.init:
+        spec = ScenarioSpec.paper_sweep(drivers=args.drivers,
+                                        duration=args.duration,
+                                        seed=args.seed)
+        spec.save(args.spec)
+        print(f"Wrote the default paper-sweep spec to {args.spec}; edit "
+              "timelines/environment and feed it to `repro serve --replay "
+              "--scenario` or `repro chaos --serving --scenario`.")
+        return 0
+    spec = ScenarioSpec.load(args.spec)
+    compiled = compile_scenario(spec)
+    behaviors = sorted(spec.behaviors(), key=int)
+    env = spec.environment
+    print(f"Scenario {spec.name!r} — {spec.drivers} drivers, "
+          f"{spec.duration:.0f} s at {1 / spec.grid_period:.0f} Hz "
+          f"({len(compiled.instants)} grid instants, seed {spec.seed})")
+    print(f"  label space: "
+          f"{'extended (8-class)' if spec.is_extended else 'paper (6-class)'}")
+    print(f"  behaviours:  "
+          + ", ".join(behavior.name for behavior in behaviors))
+    for index, timeline in enumerate(spec.timelines):
+        count = sum(1 for a in compiled.assignment if a == index)
+        print(f"  timeline     {timeline.name!r}: "
+              f"{len(timeline.segments)} segment(s), weight "
+              f"{timeline.weight:g} -> {count} driver(s)")
+    print(f"  environment: {len(env.lighting)} lighting phase(s), "
+          f"{len(env.camera_faults)} camera fault(s), "
+          f"{len(env.imu_noise)} noise regime(s), road "
+          f"{env.road.name!r} (vibration x{env.road.vibration:g}), "
+          f"GPS {'on' if env.gps is not None else 'off'}")
+    if args.training:
+        from repro.datasets import summarize
+        from repro.scenarios import scenario_training_set
+
+        dataset = scenario_training_set(compiled)
+        print(f"\nTraining windows ({len(dataset)} samples, "
+              f"{dataset.num_classes}-class):")
+        print(summarize(dataset))
     return 0
 
 
@@ -430,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--metrics-out", default=None,
                        help="serving/edge mode: write the metrics "
                             "snapshot to this JSON file")
+    chaos.add_argument("--scenario", default=None, metavar="SPEC",
+                       help="serving mode: declarative scenario spec "
+                            "(JSON) shaping the fleet traffic; its "
+                            "camera faults join the fault schedule as "
+                            "scenario-native chaos")
     chaos.set_defaults(func=_cmd_chaos)
 
     edge = sub.add_parser(
@@ -485,7 +586,33 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="time individual layers on every Nth forward "
                             "pass (0 disables sampling)")
+    serve.add_argument("--scenario", default=None, metavar="SPEC",
+                       help="replay a declarative scenario spec (JSON) "
+                            "instead of the default behaviour sweep; the "
+                            "spec is authoritative for drivers, duration "
+                            "and seed, and extended-class scenarios get "
+                            "extended heads trained from the spec's own "
+                            "training windows when --model is omitted")
     serve.set_defaults(func=_cmd_serve)
+
+    scenario = sub.add_parser(
+        "scenario", help="validate, summarize or bootstrap a scenario "
+                         "spec (the declarative synthetic world shared "
+                         "by training, replay and chaos)")
+    scenario.add_argument("spec", help="scenario spec JSON file")
+    scenario.add_argument("--init", action="store_true",
+                          help="write the default paper-sweep spec to "
+                               "SPEC instead of reading it")
+    scenario.add_argument("--training", action="store_true",
+                          help="generate the spec's training windows and "
+                               "print the class table")
+    scenario.add_argument("--drivers", type=int, default=8,
+                          help="fleet size for --init")
+    scenario.add_argument("--duration", type=float, default=20.0,
+                          help="drive length for --init")
+    scenario.add_argument("--seed", type=int, default=0,
+                          help="seed for --init")
+    scenario.set_defaults(func=_cmd_scenario)
 
     stats = sub.add_parser(
         "stats", help="render a saved metrics snapshot")

@@ -18,7 +18,11 @@ import numpy as np
 from repro.core.bayesian import BayesianNetworkCombiner
 from repro.core.cnn import CnnConfig, DriverFrameCNN
 from repro.core.rnn import ImuSequenceRNN, RnnConfig
-from repro.datasets.classes import NUM_BEHAVIOR_CLASSES, NUM_IMU_CLASSES
+from repro.datasets.classes import (
+    NUM_BEHAVIOR_CLASSES,
+    NUM_EXTENDED_IMU_CLASSES,
+    NUM_IMU_CLASSES,
+)
 from repro.datasets.dataset import DrivingDataset
 from repro.exceptions import ConfigurationError, NotFittedError
 from repro.ml.features import FeatureScaler, extract_window_features
@@ -141,8 +145,18 @@ class DarNetEnsemble:
             self.imu_model.model.workspace = self.cnn.model.workspace
         elif architecture == "cnn+svm":
             self.imu_model = SvmImuClassifier(rng=self.rng)
+        # Combiner dimensions follow the member heads, so an extended
+        # 8-class CNN + 4-class RNN composes without touching the BN code;
+        # default configs reproduce the paper's 6x3 network exactly.
+        num_classes = self.cnn.config.num_classes
+        if isinstance(self.imu_model, ImuSequenceRNN):
+            num_imu = self.imu_model.config.num_classes
+        else:
+            num_imu = (NUM_EXTENDED_IMU_CLASSES
+                       if num_classes > NUM_BEHAVIOR_CLASSES
+                       else NUM_IMU_CLASSES)
         self.combiner = combiner or BayesianNetworkCombiner(
-            NUM_BEHAVIOR_CLASSES, NUM_IMU_CLASSES)
+            num_classes, num_imu)
         self._fitted = False
 
     # -- training --------------------------------------------------------
@@ -294,7 +308,7 @@ class DarNetEnsemble:
             architecture=self.architecture,
             top1=accuracy(dataset.labels, predictions),
             confusion=confusion_matrix(dataset.labels, predictions,
-                                       NUM_BEHAVIOR_CLASSES),
+                                       self.cnn.config.num_classes),
             probabilities=probabilities,
             predictions=predictions,
             imu_top1=imu_top1,

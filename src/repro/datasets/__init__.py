@@ -9,14 +9,22 @@ standing in for ImageNet initialization.
 from repro.datasets.classes import (
     IMU_ACTIVE_BEHAVIORS,
     NUM_BEHAVIOR_CLASSES,
+    NUM_EXTENDED_CLASSES,
+    NUM_EXTENDED_IMU_CLASSES,
     NUM_IMU_CLASSES,
     PAPER_FRAME_COUNTS,
     DrivingBehavior,
+    ExtendedBehavior,
+    ExtendedImuClass,
     ImuClass,
+    as_behavior,
     behavior_names,
     imu_class_names,
+    resolve_behavior,
     scaled_frame_counts,
+    to_extended_imu_class,
     to_imu_class,
+    to_paper_behavior,
 )
 from repro.datasets.imu_synth import (
     DEFAULT_SAMPLE_RATE_HZ,
@@ -65,6 +73,9 @@ __all__ = [
     "DrivingBehavior", "ImuClass", "to_imu_class", "behavior_names",
     "imu_class_names", "scaled_frame_counts", "NUM_BEHAVIOR_CLASSES",
     "NUM_IMU_CLASSES", "PAPER_FRAME_COUNTS", "IMU_ACTIVE_BEHAVIORS",
+    "ExtendedBehavior", "ExtendedImuClass", "NUM_EXTENDED_CLASSES",
+    "NUM_EXTENDED_IMU_CLASSES", "as_behavior", "resolve_behavior",
+    "to_extended_imu_class", "to_paper_behavior",
     "ImuTraceGenerator", "DriverProfile", "generate_imu_windows",
     "standardize_windows", "GRAVITY", "SENSOR_ORDER", "DEFAULT_SAMPLE_RATE_HZ",
     "DEFAULT_WINDOW_STEPS", "SceneRenderer", "DriverAppearance", "PoseSpec",

@@ -73,6 +73,67 @@ class ImuClass(enum.IntEnum):
 NUM_IMU_CLASSES = len(ImuClass)
 
 
+class ExtendedBehavior(enum.IntEnum):
+    """The scenario DSL's label space: Table 1 plus DMS classes.
+
+    Values 0–5 coincide with :class:`DrivingBehavior` (IntEnum members
+    compare and hash by value, so the two spaces interoperate in dict
+    lookups and equality checks).  The two extra classes come from the
+    driver-monitoring taxonomies of the related work (drowsiness from the
+    fatigue-detection literature, camera-covered from production DMS
+    feature lists) — behaviours the paper never collected but a deployed
+    monitor must answer for.
+    """
+
+    NORMAL = 0
+    TALKING = 1
+    TEXTING = 2
+    EATING_DRINKING = 3
+    HAIR_MAKEUP = 4
+    REACHING = 5
+    DROWSY = 6
+    CAMERA_COVERED = 7
+
+    @property
+    def display_name(self) -> str:
+        """Human-readable name (Table 1 names for the paper classes)."""
+        if int(self) < NUM_BEHAVIOR_CLASSES:
+            return _DISPLAY_NAMES[DrivingBehavior(int(self))]
+        return _EXTENDED_DISPLAY_NAMES[self]
+
+    @property
+    def is_paper_class(self) -> bool:
+        """Whether this class exists in the paper's 6-way space."""
+        return int(self) < NUM_BEHAVIOR_CLASSES
+
+
+_EXTENDED_DISPLAY_NAMES = {
+    ExtendedBehavior.DROWSY: "Drowsy Driving",
+    ExtendedBehavior.CAMERA_COVERED: "Camera Covered",
+}
+
+NUM_EXTENDED_CLASSES = len(ExtendedBehavior)
+
+
+class ExtendedImuClass(enum.IntEnum):
+    """IMU label space of the extended taxonomy.
+
+    The three paper orientations plus drowsiness: the phone stays in the
+    pocket, but the *vehicle* signature changes — slow lane-weave
+    oscillation punctuated by correction jerks.  Camera-covered has no
+    IMU signature at all (the phone rides in the normal pocket pose), so
+    it maps to ``NORMAL`` like the paper's non-phone classes.
+    """
+
+    NORMAL = 0
+    TALKING = 1
+    TEXTING = 2
+    DROWSY = 3
+
+
+NUM_EXTENDED_IMU_CLASSES = len(ExtendedImuClass)
+
+
 def to_imu_class(behavior: DrivingBehavior | int) -> ImuClass:
     """Map a behaviour class to its IMU-modality label.
 
@@ -85,6 +146,57 @@ def to_imu_class(behavior: DrivingBehavior | int) -> ImuClass:
     if behavior == DrivingBehavior.TEXTING:
         return ImuClass.TEXTING
     return ImuClass.NORMAL
+
+
+def as_behavior(value: int) -> DrivingBehavior | ExtendedBehavior:
+    """The enum member for a class index in either label space.
+
+    Paper classes come back as :class:`DrivingBehavior` (so existing
+    equality/identity checks keep working), extended classes as
+    :class:`ExtendedBehavior`.
+    """
+    value = int(value)
+    if value < NUM_BEHAVIOR_CLASSES:
+        return DrivingBehavior(value)
+    return ExtendedBehavior(value)
+
+
+def resolve_behavior(name: str) -> DrivingBehavior | ExtendedBehavior:
+    """Look up a behaviour by enum name (the scenario specs' JSON form)."""
+    try:
+        return as_behavior(int(ExtendedBehavior[name.upper()]))
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown behaviour {name!r}; choose from "
+            f"{[b.name for b in ExtendedBehavior]}") from None
+
+
+def to_extended_imu_class(behavior: int) -> ExtendedImuClass:
+    """Map an extended behaviour class to its IMU-modality label.
+
+    Paper classes follow :func:`to_imu_class`; ``DROWSY`` carries its own
+    vehicle-dynamics signature, and ``CAMERA_COVERED`` is IMU-normal.
+    """
+    value = int(behavior)
+    if value == ExtendedBehavior.DROWSY:
+        return ExtendedImuClass.DROWSY
+    if value == ExtendedBehavior.CAMERA_COVERED:
+        return ExtendedImuClass.NORMAL
+    return ExtendedImuClass(int(to_imu_class(DrivingBehavior(value))))
+
+
+def to_paper_behavior(behavior: int) -> DrivingBehavior:
+    """Project an extended class down onto the paper's 6-way space.
+
+    The paper space has no concept of drowsiness or a covered camera;
+    both project to ``NORMAL`` (no *distraction gesture* is in progress),
+    which is exactly how a 6-class-only consumer — the legacy ensemble,
+    a distilled dCNN on the privacy ladder — would read those drives.
+    """
+    value = int(behavior)
+    if value < NUM_BEHAVIOR_CLASSES:
+        return DrivingBehavior(value)
+    return DrivingBehavior.NORMAL
 
 
 def behavior_names() -> list[str]:

@@ -13,8 +13,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.classes import (
+    NUM_BEHAVIOR_CLASSES,
     DrivingBehavior,
+    as_behavior,
     scaled_frame_counts,
+    to_extended_imu_class,
     to_imu_class,
 )
 from repro.datasets.image_synth import (
@@ -37,14 +40,18 @@ class DrivingDataset:
     Attributes:
         images: (n, 1, h, w) float32 frames.
         imu: (n, steps, 12) float32 IMU windows.
-        labels: (n,) behaviour classes (6-way).
+        labels: (n,) behaviour classes (6-way by default).
         drivers: (n,) participant ids.
+        num_classes: size of the behaviour label space.  6 for paper
+            datasets; 8 for scenario-DSL datasets carrying the extended
+            DMS classes.
     """
 
     images: np.ndarray
     imu: np.ndarray
     labels: np.ndarray
     drivers: np.ndarray
+    num_classes: int = NUM_BEHAVIOR_CLASSES
 
     def __post_init__(self) -> None:
         n = self.labels.shape[0]
@@ -61,15 +68,24 @@ class DrivingDataset:
 
     @property
     def imu_labels(self) -> np.ndarray:
-        """IMU-modality (3-way) labels derived from the behaviour labels."""
+        """IMU-modality labels derived from the behaviour labels.
+
+        3-way for paper datasets, 4-way (adds DROWSY) when the label space
+        is extended — each label maps through the taxonomy's behaviour →
+        IMU projection.
+        """
+        if self.num_classes > NUM_BEHAVIOR_CLASSES:
+            return np.array(
+                [int(to_extended_imu_class(int(label)))
+                 for label in self.labels], dtype=np.int64)
         return np.array([int(to_imu_class(int(label))) for label in self.labels],
                         dtype=np.int64)
 
     def class_counts(self) -> dict[DrivingBehavior, int]:
         """Samples per behaviour class (Table 1's Frame Count column)."""
         return {
-            behavior: int(np.sum(self.labels == int(behavior)))
-            for behavior in DrivingBehavior
+            as_behavior(value): int(np.sum(self.labels == value))
+            for value in range(self.num_classes)
         }
 
     def subset(self, indices: np.ndarray) -> "DrivingDataset":
@@ -80,6 +96,7 @@ class DrivingDataset:
             imu=self.imu[indices],
             labels=self.labels[indices],
             drivers=self.drivers[indices],
+            num_classes=self.num_classes,
         )
 
     def train_eval_split(self, train_fraction: float = 0.8, *,
@@ -96,8 +113,8 @@ class DrivingDataset:
         if stratified:
             train_idx: list[int] = []
             eval_idx: list[int] = []
-            for behavior in DrivingBehavior:
-                members = np.flatnonzero(self.labels == int(behavior))
+            for value in range(self.num_classes):
+                members = np.flatnonzero(self.labels == value)
                 rng.shuffle(members)
                 cut = int(round(len(members) * train_fraction))
                 train_idx.extend(members[:cut])
@@ -165,12 +182,14 @@ def generate_driving_dataset(total_samples: int = 1200, *,
 def summarize(dataset: DrivingDataset) -> str:
     """Text table of class counts and modalities, shaped like Table 1."""
     lines = [f"{'Class':>5}  {'Description':<17} {'Data Types':<12} {'Count':>7}"]
-    for behavior in DrivingBehavior:
-        has_imu = to_imu_class(behavior) != 0 or behavior == DrivingBehavior.NORMAL
+    for value in range(dataset.num_classes):
+        behavior = as_behavior(value)
+        has_imu = (int(to_extended_imu_class(value)) != 0
+                   or behavior == DrivingBehavior.NORMAL)
         data_types = "Image, IMU" if has_imu else "Image, --"
-        count = int(np.sum(dataset.labels == int(behavior)))
+        count = int(np.sum(dataset.labels == value))
         lines.append(
-            f"{behavior.paper_id:>5}  {behavior.display_name:<17} "
+            f"{value + 1:>5}  {behavior.display_name:<17} "
             f"{data_types:<12} {count:>7}"
         )
     lines.append(f"{'':>5}  {'Total':<17} {'':<12} {len(dataset):>7}")

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets.classes import DrivingBehavior
+from repro.datasets.classes import DrivingBehavior, ExtendedBehavior, as_behavior
 from repro.exceptions import ConfigurationError
 
 DEFAULT_IMAGE_SIZE = 64
@@ -137,6 +137,9 @@ _NORMAL_MIMIC_PROBABILITY = {
     DrivingBehavior.REACHING: 0.12,
     DrivingBehavior.EATING_DRINKING: 0.05,
     DrivingBehavior.HAIR_MAKEUP: 0.05,
+    # Drowsy drivers intermittently rouse and sit upright — those frames
+    # render as normal driving, so the class is not trivially separable.
+    ExtendedBehavior.DROWSY: 0.10,
 }
 
 
@@ -195,6 +198,12 @@ POSES: dict[DrivingBehavior, PoseSpec] = {
         left_hand=None, right_hand=(0.52, 0.88), object_size=0.0,
         object_tone=0.0, object_hand="none", head_tilt=0.03,
         torso_lean=0.10),
+    # Extended (non-paper) class: head drooped toward the wheel with both
+    # hands resting on it — only the head/torso geometry separates it from
+    # normal driving, so the CNN has to key on posture, not props.
+    ExtendedBehavior.DROWSY: PoseSpec(
+        left_hand=None, right_hand=None, object_size=0.0, object_tone=0.0,
+        object_hand="none", head_tilt=0.075, torso_lean=0.04),
 }
 
 
@@ -229,7 +238,9 @@ class SceneRenderer:
                pose: PoseSpec | None = None) -> np.ndarray:
         """Render one frame of ``behavior``; returns (size, size) float32."""
         rng = rng or np.random.default_rng()
-        behavior = DrivingBehavior(behavior)
+        behavior = as_behavior(int(behavior))
+        if behavior == ExtendedBehavior.CAMERA_COVERED:
+            return self._render_covered(rng)
         spec = pose or POSES[behavior]
         # Transition frames: the hand is momentarily back on/near the
         # wheel, so the frame renders as normal driving regardless of the
@@ -303,6 +314,25 @@ class SceneRenderer:
         canvas = canvas * lighting
         if self.noise_std:
             canvas = canvas + rng.normal(0.0, self.noise_std, canvas.shape)
+        return np.clip(canvas, 0.0, 1.0).astype(np.float32)
+
+    def _render_covered(self, rng: np.random.Generator) -> np.ndarray:
+        """Occluded-lens frame: near-black with a faint smudge highlight.
+
+        What an inward camera sees when taped over or blocked by an object
+        pressed against the lens — almost no scene signal, just sensor
+        floor noise and a soft bloom where stray light leaks past the
+        obstruction.
+        """
+        yy, xx = self._yy, self._xx
+        base = 0.02 + 0.03 * float(rng.random())
+        canvas = np.full((self.size, self.size), base, dtype=np.float64)
+        cy, cx = rng.uniform(0.2, 0.8, 2)
+        canvas = canvas + 0.06 * np.exp(
+            -((yy - cy) ** 2 + (xx - cx) ** 2) / 0.08)
+        if self.noise_std:
+            canvas = canvas + rng.normal(0.0, 0.4 * self.noise_std,
+                                         canvas.shape)
         return np.clip(canvas, 0.0, 1.0).astype(np.float32)
 
     def frame_fn(self, behavior_at: "callable", *,

@@ -26,7 +26,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.datasets.classes import DrivingBehavior, ImuClass, to_imu_class
+from repro.datasets.classes import (
+    NUM_IMU_CLASSES,
+    DrivingBehavior,
+    ExtendedBehavior,
+    ImuClass,
+    as_behavior,
+    to_extended_imu_class,
+)
 from repro.exceptions import ConfigurationError
 
 GRAVITY = 9.81
@@ -112,14 +119,16 @@ class ImuTraceGenerator:
         rng: randomness for phases, wander, and episode-level variation.
     """
 
-    def __init__(self, behavior: DrivingBehavior | int,
+    def __init__(self, behavior: DrivingBehavior | ExtendedBehavior | int,
                  driver: DriverProfile | None = None, *,
                  rng: np.random.Generator | None = None) -> None:
         rng = rng or np.random.default_rng()
-        self.behavior = DrivingBehavior(behavior)
-        self.imu_class = to_imu_class(self.behavior)
+        self.behavior = as_behavior(int(behavior))
+        self.imu_class = to_extended_imu_class(int(self.behavior))
         self.driver = driver or DriverProfile(0, 0.0, 0.0, 1.0, 1.0)
-        pose = _POSES[self.imu_class]
+        pose = _POSES[ImuClass(int(self.imu_class))
+                      if int(self.imu_class) < NUM_IMU_CLASSES
+                      else ImuClass.NORMAL]
         # Texting/talking hold overlap: shrink the pitch gap for a random
         # subset of episodes so orientation alone is not fully separating.
         pitch = pose.pitch + self.driver.pitch_offset + rng.normal(0.0, 0.08)
@@ -166,6 +175,18 @@ class ImuTraceGenerator:
         elif self.behavior in (DrivingBehavior.EATING_DRINKING,
                                DrivingBehavior.HAIR_MAKEUP):
             self._reach_sway = float(rng.uniform(0.05, 0.15))
+        # Drowsiness: the phone rides in the pocket, but the *vehicle*
+        # weaves — slow lateral drift punctuated by sharp correction jerks
+        # when the driver snaps back to lane centre.  These draws come
+        # strictly after every paper-class draw and only fire for DROWSY,
+        # so the RNG stream for classes 0-5 is unchanged.
+        self._weave_amp = 0.0
+        if self.behavior == ExtendedBehavior.DROWSY:
+            self._weave_amp = float(rng.uniform(0.55, 0.95))
+            self._weave_freq = float(rng.uniform(0.16, 0.28))
+            self._weave_phase = float(rng.uniform(0, 2 * np.pi))
+            self._correction_period = float(rng.uniform(3.5, 6.5))
+            self._correction_phase = float(rng.uniform(0.0, 1.0))
 
     # -- signal components ----------------------------------------------------
     def _gravity_device(self, t: float | np.ndarray) -> np.ndarray:
@@ -201,7 +222,26 @@ class ImuTraceGenerator:
             np.sin(2 * np.pi * 1.1 * t + self._sway_phase[1] + 2.0),
             np.zeros_like(t),
         ], axis=1)
-        return sway + jitter + reach
+        out = sway + jitter + reach
+        if self._weave_amp:
+            out = out + self._drowsy_weave(t)
+        return out
+
+    def _drowsy_weave(self, t: np.ndarray) -> np.ndarray:
+        """Lane-weave acceleration signature of a drowsy drive.
+
+        A sub-0.3 Hz lateral oscillation (far below any gesture band) with
+        a periodic near-impulse correction jerk riding on top — the
+        frequency structure the extended RNN head keys on.
+        """
+        weave = self._weave_amp * np.sin(
+            2 * np.pi * self._weave_freq * t + self._weave_phase)
+        phase01 = (t / self._correction_period + self._correction_phase) % 1.0
+        jerk = 1.8 * self._weave_amp * np.exp(-((phase01 - 0.5) ** 2) / 0.004)
+        out = np.zeros((t.size, 3))
+        out[:, 0] = weave + jerk
+        out[:, 1] = 0.35 * weave
+        return out
 
     def _road_vibration(self, t: np.ndarray) -> np.ndarray:
         """Band-limited vehicle vibration common to all behaviours."""
@@ -240,6 +280,15 @@ class ImuTraceGenerator:
                     np.cos(2 * np.pi * 0.8 * times + self._sway_phase[0]),
                     np.cos(2 * np.pi * 1.1 * times + self._sway_phase[1]),
                     np.zeros_like(times),
+                ], axis=1)
+            if self._weave_amp:
+                # Weave shows up as yaw-rate oscillation at the weave freq.
+                out = out + np.stack([
+                    np.zeros_like(times),
+                    np.zeros_like(times),
+                    0.3 * self._weave_amp * np.cos(
+                        2 * np.pi * self._weave_freq * times
+                        + self._weave_phase),
                 ], axis=1)
         elif sensor == "rotation":
             # Rotation-vector components track normalized gravity direction.

@@ -1,0 +1,82 @@
+"""Extended-taxonomy heads: train beyond the paper's six classes.
+
+The scenario DSL schedules :class:`~repro.datasets.classes.ExtendedBehavior`
+classes; this module builds the matching heads — an 8-way frame CNN and a
+4-way IMU RNN composed by the same Bayesian combiner (its CPT dimensions
+follow the head configs) — and the projection that lets every 6-class
+consumer (legacy fixtures, distilled dCNNs on the privacy ladder) keep
+reading extended verdict streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.cnn import CnnConfig
+from repro.core.ensemble import DarNetEnsemble
+from repro.core.rnn import RnnConfig
+from repro.datasets.classes import (
+    NUM_BEHAVIOR_CLASSES,
+    NUM_EXTENDED_CLASSES,
+    NUM_EXTENDED_IMU_CLASSES,
+    to_paper_behavior,
+)
+from repro.datasets.dataset import DrivingDataset
+from repro.exceptions import ConfigurationError
+
+
+def extended_cnn_config(base: CnnConfig | None = None) -> CnnConfig:
+    """A frame-head config widened to the 8-class extended space."""
+    return replace(base or CnnConfig(), num_classes=NUM_EXTENDED_CLASSES)
+
+
+def extended_rnn_config(base: RnnConfig | None = None) -> RnnConfig:
+    """An IMU-head config widened to the 4-class extended IMU space."""
+    return replace(base or RnnConfig(), num_classes=NUM_EXTENDED_IMU_CLASSES)
+
+
+def train_extended_ensemble(train: DrivingDataset, *,
+                            architecture: str = "cnn+rnn",
+                            cnn_config: CnnConfig | None = None,
+                            rnn_config: RnnConfig | None = None,
+                            rng: np.random.Generator | None = None,
+                            verbose: bool = False) -> DarNetEnsemble:
+    """Fit a full ensemble over the extended label space.
+
+    ``train`` must carry extended labels (``num_classes`` of 8, e.g. from
+    :func:`~repro.scenarios.training.scenario_training_set` over a spec
+    that schedules DROWSY / CAMERA_COVERED); the combiner's CPTs come out
+    8x4 automatically because its dimensions follow the head configs.
+    """
+    if train.num_classes <= NUM_BEHAVIOR_CLASSES:
+        raise ConfigurationError(
+            "train_extended_ensemble needs an extended-label dataset; "
+            f"got num_classes={train.num_classes}")
+    ensemble = DarNetEnsemble(
+        architecture,
+        cnn_config=extended_cnn_config(cnn_config),
+        rnn_config=extended_rnn_config(rnn_config),
+        rng=rng)
+    ensemble.fit(train, verbose=verbose)
+    return ensemble
+
+
+def project_probs_to_paper(probs: np.ndarray) -> np.ndarray:
+    """Collapse extended-class probabilities onto the paper's 6 classes.
+
+    Mass on DROWSY / CAMERA_COVERED folds into NORMAL (no distraction
+    *gesture* is in progress), matching
+    :func:`~repro.datasets.classes.to_paper_behavior` for hard labels.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ConfigurationError(
+            f"expected a (n, classes) batch, got shape {probs.shape}")
+    if probs.shape[1] <= NUM_BEHAVIOR_CLASSES:
+        return probs
+    out = np.zeros((probs.shape[0], NUM_BEHAVIOR_CLASSES))
+    for value in range(probs.shape[1]):
+        out[:, int(to_paper_behavior(value))] += probs[:, value]
+    return out

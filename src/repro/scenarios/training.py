@@ -1,0 +1,75 @@
+"""Training consumer of the scenario DSL.
+
+A training sample here is exactly what the serving tier sees at a grid
+instant: the frame at ``t`` plus the window of the last
+``window_steps`` grid-aligned 12-feature IMU samples ending at ``t`` —
+assembled from the *same* compiled :class:`DriverTrace` objects the
+replay harness streams, so training data and replay traffic cannot
+diverge by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.classes import (
+    NUM_BEHAVIOR_CLASSES,
+    NUM_EXTENDED_CLASSES,
+)
+from repro.datasets.dataset import DrivingDataset
+from repro.datasets.imu_synth import DEFAULT_WINDOW_STEPS
+from repro.exceptions import ConfigurationError
+from repro.scenarios.compiler import CompiledScenario, compile_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+def scenario_training_set(scenario: ScenarioSpec | CompiledScenario, *,
+                          window_steps: int = DEFAULT_WINDOW_STEPS,
+                          stride: int = 1,
+                          include_masked_frames: bool = True
+                          ) -> DrivingDataset:
+    """Labelled training windows from a scenario's compiled streams.
+
+    Args:
+        scenario: a spec (compiled here) or an already-compiled scenario
+            (pass the same object the replay uses to share trace caches).
+        window_steps: IMU window length; with the default 0.25 s grid this
+            is the paper's 20-step / 5 s window.
+        stride: keep every ``stride``-th instant (1 = all instants with a
+            full window behind them).
+        include_masked_frames: scenario camera *blackouts* mark frames
+            that never reach the server; by default they still make
+            training samples (the frame exists, ingestion was cut), pass
+            ``False`` to drop them.
+    """
+    compiled = (scenario if isinstance(scenario, CompiledScenario)
+                else compile_scenario(scenario))
+    if stride < 1:
+        raise ConfigurationError(f"stride must be >= 1, got {stride}")
+    instants = compiled.instants
+    if len(instants) < window_steps:
+        raise ConfigurationError(
+            f"scenario too short for {window_steps}-step windows: "
+            f"{len(instants)} grid instants; lengthen duration")
+    images: list[np.ndarray] = []
+    windows: list[np.ndarray] = []
+    labels: list[int] = []
+    drivers: list[int] = []
+    for trace in compiled.traces():
+        for k in range(window_steps - 1, len(instants), stride):
+            if (not include_masked_frames and trace.frame_mask is not None
+                    and not trace.frame_mask[k]):
+                continue
+            images.append(trace.frames[k][None])
+            windows.append(trace.imu[k - window_steps + 1:k + 1])
+            labels.append(int(trace.labels[k]))
+            drivers.append(trace.driver_id)
+    num_classes = (NUM_EXTENDED_CLASSES if compiled.spec.is_extended
+                   else NUM_BEHAVIOR_CLASSES)
+    return DrivingDataset(
+        images=np.stack(images).astype(np.float32),
+        imu=np.stack(windows).astype(np.float32),
+        labels=np.asarray(labels, dtype=np.int64),
+        drivers=np.asarray(drivers, dtype=np.int64),
+        num_classes=num_classes,
+    )

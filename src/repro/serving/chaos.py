@@ -36,9 +36,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.darnet import DriveScript
-from repro.datasets.classes import DrivingBehavior
 from repro.exceptions import ConfigurationError
-from repro.serving.replay import synthesize_trace
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.faults import scenario_fault_events
+from repro.scenarios.spec import ScenarioSpec
 from repro.serving.supervisor import SHARD_UP, ShardSupervisor
 from repro.streaming.faults import FaultEvent, FaultSchedule
 
@@ -176,6 +177,11 @@ class ServingChaosReport:
     violations: list[str] = field(default_factory=list)
     harness_log: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    #: Scenario-DSL provenance: spec name, frames withheld by scheduled
+    #: camera blackouts, and frames served as occluded covered-lens views.
+    scenario: str = ""
+    masked_frames: int = 0
+    covered_frames: int = 0
 
     @property
     def recovery_max(self) -> float:
@@ -204,6 +210,11 @@ class ServingChaosReport:
             f"overflowed {self.journal_overflowed}   "
             f"{self.journal_bytes} bytes",
         ]
+        if self.scenario:
+            lines.append(
+                f"  scenario   {self.scenario}: {self.masked_frames} "
+                f"frames withheld (blackout), {self.covered_frames} "
+                "occluded frames served (covered)")
         if self.violations:
             lines.append("  VIOLATIONS:")
             lines.extend(f"    - {violation}"
@@ -219,7 +230,8 @@ def run_serving_chaos(model, *, shards: int = 3, drivers: int = 6,
                       seed: int = 0, workers: int = 0,
                       schedule: FaultSchedule | None = None,
                       recovery_bound: float | None = None,
-                      script: DriveScript | None = None
+                      script: DriveScript | None = None,
+                      scenario: ScenarioSpec | None = None
                       ) -> ServingChaosReport:
     """Drive a supervised shard fleet through scripted serving chaos.
 
@@ -247,7 +259,22 @@ def run_serving_chaos(model, *, shards: int = 3, drivers: int = 6,
             one grid step.
         script: drive behaviour script; standard all-behaviours when
             omitted.
+        scenario: a declarative :class:`ScenarioSpec` for the fleet
+            traffic.  Authoritative for ``drivers`` / ``duration`` /
+            ``grid_period`` / ``seed``; its environment-track camera
+            faults join the fault schedule as scenario-native
+            ``camera_covered`` / ``camera_blackout`` events — blackouts
+            withhold frame ingestion (IMU-only degradation under the
+            zero-loss audit) and the audit demands they engage.
     """
+    if scenario is not None:
+        if script is not None:
+            raise ConfigurationError(
+                "pass either scenario or script, not both")
+        drivers = scenario.drivers
+        duration = scenario.duration
+        grid_period = scenario.grid_period
+        seed = scenario.seed
     if shards < 2:
         raise ConfigurationError(
             "serving chaos needs >= 2 shards (somewhere to migrate to)")
@@ -264,17 +291,17 @@ def run_serving_chaos(model, *, shards: int = 3, drivers: int = 6,
     backoff_cap = 16.0 * grid_period
     if recovery_bound is None:
         recovery_bound = silent_after + backoff_cap + grid_period
-    instants = np.arange(0.0, duration, grid_period)
-    if script is None:
-        behaviors = list(DrivingBehavior)
-        segment = max(1.0, duration / len(behaviors) - 0.25)
-        script = DriveScript.standard(segment_seconds=segment,
-                                      gap_seconds=0.25)
-    traces = [
-        synthesize_trace(d, instants, script=script,
-                         rng=np.random.default_rng(seed + 1000 + d))
-        for d in range(drivers)
-    ]
+    if scenario is None:
+        scenario = (ScenarioSpec.from_script(
+                        script, drivers=drivers, duration=duration,
+                        grid_period=grid_period, seed=seed)
+                    if script is not None
+                    else ScenarioSpec.paper_sweep(
+                        drivers=drivers, duration=duration,
+                        grid_period=grid_period, seed=seed))
+    compiled = compile_scenario(scenario)
+    instants = compiled.instants
+    traces = compiled.traces()
 
     supervisor = ShardSupervisor(
         model, shards=shards,
@@ -285,18 +312,32 @@ def run_serving_chaos(model, *, shards: int = 3, drivers: int = 6,
         backoff_base=backoff_base, backoff_cap=backoff_cap,
         request_deadline=8.0 * grid_period,
         heartbeat_interval=grid_period)
-    harness = ServingChaosHarness(schedule, supervisor)
     session_ids = [supervisor.open_session(trace.driver_id, now=0.0)
                    for trace in traces]
+    scenario_events = scenario_fault_events(scenario, session_ids)
+    if scenario_events:
+        schedule = FaultSchedule([*schedule.events, *scenario_events])
+    harness = ServingChaosHarness(schedule, supervisor)
+    covered_frames = 0
+    for trace in traces:
+        covered = np.zeros(len(instants), dtype=bool)
+        for fault in scenario.environment.camera_faults:
+            if fault.kind == "covered" and fault.hits(trace.driver_id):
+                covered |= (instants >= fault.start) & (instants < fault.end)
+        covered_frames += int(covered.sum())
 
     requested: list[tuple[str, int]] = []
+    masked_frames = 0
     try:
         for index, instant in enumerate(instants):
             now = float(instant)
             harness.apply(now)
             for sid, trace in zip(session_ids, traces):
                 supervisor.ingest_imu(sid, now, trace.imu[index])
-                supervisor.ingest_frame(sid, now, trace.frames[index])
+                if trace.frame_mask is None or trace.frame_mask[index]:
+                    supervisor.ingest_frame(sid, now, trace.frames[index])
+                else:
+                    masked_frames += 1
                 requested.append(
                     (sid, supervisor.request_verdict(sid, now)))
             supervisor.step(now)
@@ -361,6 +402,16 @@ def run_serving_chaos(model, *, shards: int = 3, drivers: int = 6,
             violations.append(
                 "schedule contains worker_kill events but no worker was "
                 "killed (chaos did not engage)")
+        if any(e.kind == "camera_blackout" for e in schedule.events) \
+                and masked_frames == 0:
+            violations.append(
+                "schedule contains camera_blackout events but no frame "
+                "was withheld (scenario fault did not engage)")
+        if any(e.kind == "camera_covered" for e in schedule.events) \
+                and covered_frames == 0:
+            violations.append(
+                "schedule contains camera_covered events but no occluded "
+                "frame was served (scenario fault did not engage)")
         for recovery in supervisor.recovery_times:
             if recovery > recovery_bound:
                 violations.append(
@@ -398,6 +449,9 @@ def run_serving_chaos(model, *, shards: int = 3, drivers: int = 6,
             violations=violations,
             harness_log=list(harness.log),
             metrics=supervisor.metrics_snapshot(),
+            scenario=scenario.name,
+            masked_frames=masked_frames,
+            covered_frames=covered_frames,
         )
     finally:
         supervisor.close()

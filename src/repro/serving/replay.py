@@ -20,66 +20,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.darnet import DriveScript
-from repro.datasets.classes import DrivingBehavior
-from repro.datasets.image_synth import DriverAppearance, SceneRenderer
-from repro.datasets.imu_synth import (
-    SENSOR_ORDER,
-    DriverProfile,
-    ImuTraceGenerator,
-)
 from repro.exceptions import ConfigurationError
+from repro.scenarios.compiler import (
+    DriverTrace,
+    compile_scenario,
+    synthesize_trace,
+)
+from repro.scenarios.spec import ScenarioSpec
 from repro.serving.registry import ServingModelRegistry
 from repro.serving.server import InferenceServer, ServingVerdict
 
-
-@dataclass
-class DriverTrace:
-    """Pre-synthesized raw streams for one replay driver."""
-
-    driver_id: int
-    imu: np.ndarray          # (instants, 12) grid-aligned samples
-    frames: list[np.ndarray]  # one frame per grid instant
-    labels: np.ndarray       # scripted behaviour per instant
-
-
-def synthesize_trace(driver_id: int, instants: np.ndarray, *,
-                     script: DriveScript,
-                     rng: np.random.Generator) -> DriverTrace:
-    """Raw per-instant IMU vectors and frames for one scripted drive."""
-    profile = DriverProfile.sample(driver_id, rng)
-    appearance = DriverAppearance.sample(driver_id, rng)
-    renderer = SceneRenderer(appearance)
-    episodes = {
-        index: ImuTraceGenerator(behavior, profile, rng=rng)
-        for index, (_, _, behavior) in enumerate(script.segments)
-    }
-    idle = ImuTraceGenerator(DrivingBehavior.NORMAL, profile, rng=rng)
-
-    def segment_at(t: float) -> int | None:
-        for index, (start, end, _) in enumerate(script.segments):
-            if start <= t < end:
-                return index
-        return None
-
-    def behavior_at(t: float) -> int:
-        index = segment_at(t)
-        if index is None:
-            return int(DrivingBehavior.NORMAL)
-        return int(script.segments[index][2])
-
-    frame_fn = renderer.frame_fn(behavior_at, rng=rng)
-    imu = np.zeros((len(instants), 12))
-    frames: list[np.ndarray] = []
-    labels = np.zeros(len(instants), dtype=np.int64)
-    for k, t in enumerate(instants):
-        index = segment_at(float(t))
-        generator = idle if index is None else episodes[index]
-        imu[k] = np.concatenate(
-            [generator.sample(sensor, float(t)) for sensor in SENSOR_ORDER])
-        frames.append(np.asarray(frame_fn(float(t)), dtype=np.float32))
-        labels[k] = behavior_at(float(t))
-    return DriverTrace(driver_id=driver_id, imu=imu, frames=frames,
-                       labels=labels)
+__all__ = ["DriverTrace", "ReplayReport", "replay_concurrent_drives",
+           "synthesize_trace"]
 
 
 @dataclass
@@ -107,6 +59,10 @@ class ReplayReport:
     killed_sessions: list[str] = field(default_factory=list)
     verdicts_per_session: dict[str, int] = field(default_factory=dict)
     degraded_per_session: dict[str, int] = field(default_factory=dict)
+    #: Name of the scenario spec that shaped the fleet traffic.
+    scenario: str = ""
+    #: Frames the scenario's camera blackouts withheld from the server.
+    masked_frames: int = 0
     #: Merged metrics snapshot + completed traces captured before the
     #: server was torn down (empty when observability was off).
     metrics: dict = field(default_factory=dict)
@@ -133,6 +89,10 @@ class ReplayReport:
             f"  batching   mean {self.mean_batch_size:.1f}   "
             f"max {self.max_batch_size}",
         ]
+        if self.scenario:
+            masked = (f"   {self.masked_frames} frames withheld by "
+                      "camera blackout" if self.masked_frames else "")
+            lines.append(f"  scenario   {self.scenario}{masked}")
         if self.killed_sessions:
             killed = ", ".join(self.killed_sessions)
             lines.append(f"  camera killed mid-replay: {killed}")
@@ -163,6 +123,7 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
                              frame_stale_after: float = 1.0,
                              seed: int = 0,
                              script: DriveScript | None = None,
+                             scenario: ScenarioSpec | None = None,
                              workers: int = 0,
                              backend: str = "numpy-fast",
                              observability: bool = True) -> ReplayReport:
@@ -185,6 +146,12 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
             stream is treated as missing.
         seed: randomness seed for the synthetic drives.
         script: drive script; a standard all-behaviours script by default.
+        scenario: a declarative :class:`ScenarioSpec` describing the fleet
+            traffic.  When given it is authoritative for ``drivers``,
+            ``duration``, ``grid_period`` and ``seed`` (mutually exclusive
+            with ``script``).  When omitted, the replay runs the default
+            paper-sweep spec — bit-identical with the pre-DSL hardcoded
+            script.
         workers: persistent worker processes for flushed batches
             (0 = in-process, bit-exact with the pre-executor replay;
             N >= 1 shards batches across N long-lived workers and
@@ -195,22 +162,30 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         observability: stage histograms and request tracing; disable for
             the overhead benchmark's baseline measurement.
     """
-    if drivers < 1 or duration <= 0:
-        raise ConfigurationError("need drivers >= 1 and duration > 0")
+    if scenario is not None and script is not None:
+        raise ConfigurationError(
+            "pass either scenario or script, not both")
+    if scenario is None:
+        if drivers < 1 or duration <= 0:
+            raise ConfigurationError("need drivers >= 1 and duration > 0")
+        scenario = (ScenarioSpec.from_script(
+                        script, drivers=drivers, duration=duration,
+                        grid_period=grid_period, seed=seed)
+                    if script is not None
+                    else ScenarioSpec.paper_sweep(
+                        drivers=drivers, duration=duration,
+                        grid_period=grid_period, seed=seed))
+    # The spec is the single source of truth for the fleet shape.
+    drivers = scenario.drivers
+    duration = scenario.duration
+    grid_period = scenario.grid_period
+    seed = scenario.seed
     if not 0 <= kill_camera <= drivers:
         raise ConfigurationError("kill_camera must be in [0, drivers]")
     rng = np.random.default_rng(seed)
-    instants = np.arange(0.0, duration, grid_period)
-    if script is None:
-        behaviors = list(DrivingBehavior)
-        segment = max(1.0, duration / len(behaviors) - 0.25)
-        script = DriveScript.standard(segment_seconds=segment,
-                                      gap_seconds=0.25)
-    traces = [
-        synthesize_trace(d, instants, script=script,
-                         rng=np.random.default_rng(seed + 1000 + d))
-        for d in range(drivers)
-    ]
+    compiled = compile_scenario(scenario)
+    instants = compiled.instants
+    traces = compiled.traces()
 
     registry = _as_registry(model, backend)
     registry.warm()
@@ -245,12 +220,18 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
                 wall_latencies.append(done - start)
         delivered.extend(verdicts)
 
+    masked_frames = 0
     wall_start = time.perf_counter()
     for k, t in enumerate(instants):
         now = float(t)
         for index, (sid, trace) in enumerate(zip(session_ids, traces)):
             server.ingest_imu(sid, now, trace.imu[k])
-            if not (sid in killed_sessions and now >= kill_time):
+            masked = (trace.frame_mask is not None
+                      and not trace.frame_mask[k])
+            if masked:
+                masked_frames += 1
+            if not masked and not (sid in killed_sessions
+                                   and now >= kill_time):
                 server.ingest_frame(sid, now, trace.frames[k])
             session = server.session(sid)
             before = session.counters.requests
@@ -295,6 +276,8 @@ def replay_concurrent_drives(model, *, drivers: int = 8,
         killed_sessions=killed_sessions,
         verdicts_per_session=per_session,
         degraded_per_session=degraded_per,
+        scenario=scenario.name,
+        masked_frames=masked_frames,
         metrics=metrics,
         traces=traces,
         verdict_log=[

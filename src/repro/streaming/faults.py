@@ -43,12 +43,18 @@ from repro.streaming.transport import Channel
 #: bytes in every artifact the OTA server serves, and
 #: ``ota_download_kill`` kills the updater process mid-download (the
 #: resumed download must continue from its persisted partial files).
+#: The camera kinds are scenario-native: scheduled by the scenario DSL's
+#: environment track and baked into compiled traces — ``camera_covered``
+#: replaces frames with occluded-lens renders (the server keeps getting
+#: frames and should *classify* the condition), ``camera_blackout``
+#: suppresses frame ingestion (the server must degrade to IMU-only).
 FAULT_KINDS = ("blackout", "agent_silence", "sensor_stuck",
                "sensor_dropout", "sensor_spike",
                "shard_kill", "executor_hang", "sink_blackhole",
                "journal_disk_full", "worker_kill",
                "uplink_blackhole", "ota_corrupt_artifact",
-               "ota_download_kill")
+               "ota_download_kill",
+               "camera_covered", "camera_blackout")
 
 _SENSOR_MODES = {"sensor_stuck": "stuck", "sensor_dropout": "dropout",
                  "sensor_spike": "spike"}

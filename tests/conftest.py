@@ -44,3 +44,33 @@ def tiny_alternative_dataset():
 
     return generate_alternative_dataset(
         4, num_drivers=2, rng=np.random.default_rng(778))
+
+
+@pytest.fixture(scope="session")
+def mixed_scenario_spec():
+    """The committed mixed-class fleet scenario (old + extended classes)."""
+    from pathlib import Path
+
+    from repro.scenarios import ScenarioSpec
+
+    return ScenarioSpec.load(
+        str(Path(__file__).parent / "fixtures" / "scenario_mixed_spec.json"))
+
+
+@pytest.fixture(scope="session")
+def extended_ensemble(mixed_scenario_spec):
+    """Extended 8-class heads trained on the mixed scenario's own windows.
+
+    Epochs are chosen so both new classes are actually learned: the CNN
+    separates CAMERA_COVERED frames, the IMU RNN separates the DROWSY
+    lane-weave — the fused verdict stream then surfaces both classes.
+    """
+    from repro.core import CnnConfig, RnnConfig
+    from repro.scenarios import scenario_training_set, train_extended_ensemble
+
+    train = scenario_training_set(mixed_scenario_spec)
+    return train_extended_ensemble(
+        train,
+        cnn_config=CnnConfig(epochs=16, width=0.5),
+        rnn_config=RnnConfig(hidden_units=16, epochs=16),
+        rng=np.random.default_rng(7))

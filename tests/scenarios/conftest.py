@@ -1,0 +1,24 @@
+"""Scenario-suite fixtures.
+
+``mixed_scenario_spec`` and ``extended_ensemble`` live in the top-level
+conftest (the serving suite shares them); here we only add a small
+paper-class ensemble for the chaos test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CnnConfig, DarNetEnsemble, RnnConfig
+
+
+@pytest.fixture(scope="package")
+def serving_ensemble(tiny_driving_dataset):
+    """A trained 6-class cnn+rnn ensemble (mirrors the serving suite's)."""
+    ensemble = DarNetEnsemble(
+        "cnn+rnn", cnn_config=CnnConfig(epochs=1, width=0.5),
+        rnn_config=RnnConfig(hidden_units=8, epochs=1),
+        rng=np.random.default_rng(7))
+    ensemble.fit(tiny_driving_dataset)
+    return ensemble

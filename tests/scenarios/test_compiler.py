@@ -1,0 +1,199 @@
+"""Scenario compiler: determinism, legacy bit-stability, environment.
+
+The contract under test is **spec + seed ⇒ byte-identical streams**, and
+its corollary: environment effects (lighting, noise, faults, jitter)
+never perturb the base per-driver RNG stream — a spec that adds an
+effect changes *only* the instants the effect covers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.darnet import DriveScript
+from repro.datasets import DrivingBehavior
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    BehaviorSegment,
+    CameraFault,
+    EnvironmentTrack,
+    GpsRoute,
+    LightingPhase,
+    NoiseRegime,
+    RoadProfile,
+    ScenarioSpec,
+    Timeline,
+    compile_scenario,
+    synthesize_trace,
+)
+
+
+def _sweep(**overrides) -> ScenarioSpec:
+    base = ScenarioSpec.paper_sweep(drivers=2, duration=6.0, seed=9)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def _assert_traces_identical(a, b):
+    assert np.array_equal(a.imu, b.imu)
+    assert len(a.frames) == len(b.frames)
+    for fa, fb in zip(a.frames, b.frames):
+        assert np.array_equal(fa, fb)
+    assert np.array_equal(a.labels, b.labels)
+
+
+# -- determinism -------------------------------------------------------------
+
+def test_same_spec_compiles_to_byte_identical_streams(mixed_scenario_spec):
+    """Two independent compiles of the committed mixed spec agree bit
+    for bit on every stream — IMU, frames, labels, masks, GPS."""
+    first = compile_scenario(mixed_scenario_spec).traces()
+    second = compile_scenario(mixed_scenario_spec).traces()
+    for a, b in zip(first, second):
+        _assert_traces_identical(a, b)
+        assert (a.frame_mask is None) == (b.frame_mask is None)
+        if a.frame_mask is not None:
+            assert np.array_equal(a.frame_mask, b.frame_mask)
+        assert np.array_equal(a.gps, b.gps)
+        assert a.timeline == b.timeline
+
+
+def test_round_tripped_spec_compiles_identically(mixed_scenario_spec):
+    """JSON round-trip preserves the compiled world, not just equality."""
+    again = type(mixed_scenario_spec).from_json(mixed_scenario_spec.to_json())
+    for a, b in zip(compile_scenario(mixed_scenario_spec).traces(),
+                    compile_scenario(again).traces()):
+        _assert_traces_identical(a, b)
+
+
+def test_default_sweep_is_bit_identical_with_legacy_synthesize():
+    """Satellite #1: the paper-sweep spec reproduces the pre-DSL replay's
+    hardcoded script exactly — same RNG stream, same bytes out."""
+    spec = _sweep()
+    compiled = compile_scenario(spec)
+    segment = max(1.0, spec.duration / 6 - 0.25)
+    script = DriveScript.standard(segment_seconds=segment, gap_seconds=0.25)
+    for driver in range(spec.drivers):
+        legacy = synthesize_trace(
+            driver, compiled.instants, script=script,
+            rng=np.random.default_rng(spec.seed + 1000 + driver))
+        _assert_traces_identical(compiled.trace_for(driver), legacy)
+        assert compiled.trace_for(driver).frame_mask is None
+
+
+# -- fleet layout ------------------------------------------------------------
+
+def test_weighted_assignment_is_exact_largest_remainder():
+    seg = (BehaviorSegment(0.0, 6.0, DrivingBehavior.NORMAL),)
+    spec = _sweep().with_overrides(drivers=8, timelines=(
+        Timeline("heavy", seg, weight=3.0),
+        Timeline("light", seg, weight=1.0)))
+    assignment = compile_scenario(spec).assignment
+    assert assignment.count(0) == 6 and assignment.count(1) == 2
+
+    spec = spec.with_overrides(drivers=5, timelines=(
+        Timeline("a", seg), Timeline("b", seg), Timeline("c", seg)))
+    counts = [compile_scenario(spec).assignment.count(i) for i in range(3)]
+    assert sorted(counts) == [1, 2, 2] and sum(counts) == 5
+
+
+def test_trace_for_rejects_out_of_fleet_driver():
+    compiled = compile_scenario(_sweep())
+    with pytest.raises(ConfigurationError):
+        compiled.trace_for(2)
+
+
+# -- environment track -------------------------------------------------------
+
+def test_lighting_phase_changes_only_covered_instants():
+    dark = _sweep(environment=EnvironmentTrack(
+        lighting=(LightingPhase(2.0, 4.0, 0.1, 0.2),)))
+    base = compile_scenario(_sweep()).trace_for(0)
+    lit = compile_scenario(dark).trace_for(0)
+    instants = compile_scenario(dark).instants
+    for k, t in enumerate(instants):
+        inside = 2.0 <= t < 4.0
+        same = np.array_equal(base.frames[k], lit.frames[k])
+        assert same != inside, f"frame at t={t} {'un' if inside else ''}changed"
+        if inside:
+            assert lit.frames[k].mean() < base.frames[k].mean()
+    assert np.array_equal(base.imu, lit.imu)  # lighting never touches IMU
+
+
+def test_noise_regime_perturbs_only_covered_instants():
+    noisy_spec = _sweep(environment=EnvironmentTrack(
+        imu_noise=(NoiseRegime(1.0, 3.0, 0.2),)))
+    base = compile_scenario(_sweep()).trace_for(1)
+    noisy = compile_scenario(noisy_spec).trace_for(1)
+    instants = compile_scenario(noisy_spec).instants
+    inside = (instants >= 1.0) & (instants < 3.0)
+    assert np.array_equal(base.imu[~inside], noisy.imu[~inside])
+    assert not np.array_equal(base.imu[inside], noisy.imu[inside])
+    for fa, fb in zip(base.frames, noisy.frames):  # noise never touches frames
+        assert np.array_equal(fa, fb)
+
+
+def test_road_profile_scales_vibration():
+    rough = _sweep(environment=EnvironmentTrack(
+        road=RoadProfile(name="gravel", vibration=3.0)))
+    base = compile_scenario(_sweep()).trace_for(0)
+    shaken = compile_scenario(rough).trace_for(0)
+    assert not np.array_equal(base.imu, shaken.imu)
+    for fa, fb in zip(base.frames, shaken.frames):
+        assert np.array_equal(fa, fb)
+
+
+def test_blackout_masks_ingestion_but_keeps_frames():
+    spec = _sweep(environment=EnvironmentTrack(
+        camera_faults=(CameraFault("blackout", 2.0, 4.0, drivers=(0,)),)))
+    compiled = compile_scenario(spec)
+    masked = compiled.trace_for(0)
+    untouched = compiled.trace_for(1)
+    expected = ~((compiled.instants >= 2.0) & (compiled.instants < 4.0))
+    assert np.array_equal(masked.frame_mask, expected)
+    assert untouched.frame_mask is None
+    # The frames behind the mask still exist (the camera *recorded*;
+    # ingestion was cut) and the base stream is untouched.
+    base = compile_scenario(_sweep()).trace_for(0)
+    _assert_traces_identical(base, masked)
+
+
+def test_covered_fault_darkens_frames_without_touching_imu():
+    spec = _sweep(environment=EnvironmentTrack(
+        camera_faults=(CameraFault("covered", 1.0, 3.0),)))
+    compiled = compile_scenario(spec)
+    covered = compiled.trace_for(0)
+    base = compile_scenario(_sweep()).trace_for(0)
+    for k, t in enumerate(compiled.instants):
+        if 1.0 <= t < 3.0:
+            assert covered.frames[k].mean() < 0.2
+            assert covered.frames[k].mean() < base.frames[k].mean()
+        else:
+            assert np.array_equal(covered.frames[k], base.frames[k])
+    assert np.array_equal(covered.imu, base.imu)
+    assert covered.frame_mask is None  # covered frames still flow
+
+
+def test_segment_jitter_is_per_driver_and_deterministic():
+    spec = _sweep(drivers=4, segment_jitter=0.5)
+    compiled = compile_scenario(spec)
+    scripts = [compiled.script_for(d) for d in range(4)]
+    assert len({tuple(s.segments) for s in scripts}) > 1
+    again = compile_scenario(spec)
+    for d in range(4):
+        assert again.script_for(d).segments == scripts[d].segments
+        for start, end, _ in again.script_for(d).segments:
+            assert 0.0 <= start < end
+
+
+def test_gps_route_dead_reckons_per_driver():
+    spec = _sweep(environment=EnvironmentTrack(
+        gps=GpsRoute(origin=(40.0, -75.0), heading_deg=90.0, speed_mps=10.0)))
+    compiled = compile_scenario(spec)
+    a, b = compiled.trace_for(0).gps, compiled.trace_for(1).gps
+    assert a.shape == (len(compiled.instants), 3)
+    assert a[0, 0] == pytest.approx(40.0)
+    assert b[0, 0] == pytest.approx(40.0001)  # per-driver origin offset
+    assert np.all(np.diff(a[:, 1]) > 0)  # heading east: lon increases
+    assert np.allclose(a[:, 2], 10.0)  # constant speed channel
+    assert compile_scenario(_sweep()).trace_for(0).gps is None

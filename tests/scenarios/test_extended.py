@@ -1,0 +1,161 @@
+"""Extended taxonomy: new classes, their synth signatures, and the heads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CnnConfig, RnnConfig
+from repro.datasets import (
+    NUM_EXTENDED_CLASSES,
+    NUM_EXTENDED_IMU_CLASSES,
+    DriverAppearance,
+    DriverProfile,
+    DrivingBehavior,
+    ExtendedBehavior,
+    ExtendedImuClass,
+    ImuTraceGenerator,
+    SceneRenderer,
+    as_behavior,
+    resolve_behavior,
+    to_extended_imu_class,
+    to_paper_behavior,
+)
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    extended_cnn_config,
+    extended_rnn_config,
+    project_probs_to_paper,
+    scenario_training_set,
+    train_extended_ensemble,
+)
+
+
+# -- taxonomy ----------------------------------------------------------------
+
+def test_extended_space_extends_the_paper_space():
+    assert NUM_EXTENDED_CLASSES == 8
+    assert NUM_EXTENDED_IMU_CLASSES == 4
+    for value in range(6):
+        assert ExtendedBehavior(value) == DrivingBehavior(value)
+        assert ExtendedBehavior(value).is_paper_class
+    assert not ExtendedBehavior.DROWSY.is_paper_class
+    assert ExtendedBehavior.DROWSY.display_name == "Drowsy Driving"
+    assert ExtendedBehavior.TEXTING.display_name == "Texting"
+
+
+def test_as_behavior_picks_the_right_space():
+    assert as_behavior(2) is DrivingBehavior.TEXTING
+    assert as_behavior(7) is ExtendedBehavior.CAMERA_COVERED
+    with pytest.raises(ValueError):
+        as_behavior(8)
+
+
+def test_resolve_behavior_by_name():
+    assert resolve_behavior("texting") is DrivingBehavior.TEXTING
+    assert resolve_behavior("DROWSY") is ExtendedBehavior.DROWSY
+    with pytest.raises(ConfigurationError):
+        resolve_behavior("JUGGLING")
+
+
+def test_imu_and_paper_projections():
+    assert to_extended_imu_class(ExtendedBehavior.DROWSY) \
+        == ExtendedImuClass.DROWSY
+    assert to_extended_imu_class(ExtendedBehavior.CAMERA_COVERED) \
+        == ExtendedImuClass.NORMAL
+    assert to_extended_imu_class(DrivingBehavior.TALKING) \
+        == ExtendedImuClass.TALKING
+    assert to_paper_behavior(ExtendedBehavior.DROWSY) \
+        == DrivingBehavior.NORMAL
+    assert to_paper_behavior(DrivingBehavior.REACHING) \
+        == DrivingBehavior.REACHING
+
+
+# -- synth signatures --------------------------------------------------------
+
+def test_drowsy_imu_has_lane_weave_signature(rng):
+    profile = DriverProfile.sample(0, rng)
+    drowsy = ImuTraceGenerator(ExtendedBehavior.DROWSY, profile,
+                               rng=np.random.default_rng(3))
+    normal = ImuTraceGenerator(DrivingBehavior.NORMAL, profile,
+                               rng=np.random.default_rng(3))
+    assert int(drowsy.imu_class) == int(ExtendedImuClass.DROWSY)
+    t = np.arange(0.0, 20.0, 0.25)
+    lat_drowsy = np.array([drowsy.sample("accelerometer", s)[0] for s in t])
+    lat_normal = np.array([normal.sample("accelerometer", s)[0] for s in t])
+    # The weave adds sub-Hz lateral energy well above normal driving.
+    assert lat_drowsy.std() > 2.0 * lat_normal.std()
+    gyro_drowsy = np.array([drowsy.sample("gyroscope", s)[2] for s in t])
+    gyro_normal = np.array([normal.sample("gyroscope", s)[2] for s in t])
+    assert gyro_drowsy.std() > gyro_normal.std()
+
+
+def test_camera_covered_renders_near_black(rng):
+    renderer = SceneRenderer(DriverAppearance.sample(0, rng))
+    covered = renderer.render(ExtendedBehavior.CAMERA_COVERED, rng=rng)
+    normal = renderer.render(DrivingBehavior.NORMAL, rng=rng)
+    assert covered.shape == normal.shape
+    assert covered.dtype == np.float32
+    assert covered.mean() < 0.15
+    assert covered.mean() < 0.5 * normal.mean()
+    # Covered is an image-only condition: the phone rides the normal pose.
+    generator = ImuTraceGenerator(
+        ExtendedBehavior.CAMERA_COVERED,
+        DriverProfile.sample(0, rng), rng=np.random.default_rng(4))
+    assert int(generator.imu_class) == int(ExtendedImuClass.NORMAL)
+
+
+# -- heads -------------------------------------------------------------------
+
+def test_extended_head_configs_widen_the_label_spaces():
+    assert extended_cnn_config().num_classes == 8
+    assert extended_rnn_config().num_classes == 4
+    assert extended_cnn_config(CnnConfig(width=0.5)).width == 0.5
+    assert extended_rnn_config(RnnConfig(hidden_units=8)).hidden_units == 8
+
+
+def test_train_extended_ensemble_rejects_paper_datasets(
+        tiny_driving_dataset):
+    with pytest.raises(ConfigurationError):
+        train_extended_ensemble(tiny_driving_dataset)
+
+
+def test_extended_ensemble_learns_both_new_classes(
+        extended_ensemble, mixed_scenario_spec):
+    """The acceptance bar: the 8-way CNN separates CAMERA_COVERED frames
+    and the 4-way RNN separates the DROWSY weave on the scenario's own
+    windows; the combiner's CPT spans the extended spaces."""
+    assert extended_ensemble.cnn.config.num_classes == 8
+    assert extended_ensemble.imu_model.config.num_classes == 4
+    assert extended_ensemble.combiner.cpt.shape[:2] == (8, 4)
+    train = scenario_training_set(mixed_scenario_spec)
+    cnn_pred = extended_ensemble.cnn.predict_proba(train.images).argmax(1)
+    covered = train.labels == int(ExtendedBehavior.CAMERA_COVERED)
+    assert (cnn_pred[covered] == int(ExtendedBehavior.CAMERA_COVERED)
+            ).mean() >= 0.9
+    imu_pred = extended_ensemble.imu_model.predict_proba(train.imu).argmax(1)
+    drowsy = train.imu_labels == int(ExtendedImuClass.DROWSY)
+    assert (imu_pred[drowsy] == int(ExtendedImuClass.DROWSY)).mean() >= 0.9
+
+
+# -- projection back to the paper space --------------------------------------
+
+def test_project_probs_to_paper_folds_extended_mass():
+    probs = np.zeros((2, 8))
+    probs[0, int(ExtendedBehavior.DROWSY)] = 0.7
+    probs[0, int(DrivingBehavior.NORMAL)] = 0.3
+    probs[1, int(ExtendedBehavior.CAMERA_COVERED)] = 0.4
+    probs[1, int(DrivingBehavior.TEXTING)] = 0.6
+    out = project_probs_to_paper(probs)
+    assert out.shape == (2, 6)
+    assert out[0, int(DrivingBehavior.NORMAL)] == pytest.approx(1.0)
+    assert out[1, int(DrivingBehavior.TEXTING)] == pytest.approx(0.6)
+    assert out[1, int(DrivingBehavior.NORMAL)] == pytest.approx(0.4)
+    assert np.allclose(out.sum(axis=1), probs.sum(axis=1))
+
+
+def test_project_probs_passes_paper_batches_through():
+    probs = np.eye(6)[:3]
+    assert np.array_equal(project_probs_to_paper(probs), probs)
+    with pytest.raises(ConfigurationError):
+        project_probs_to_paper(np.zeros(8))

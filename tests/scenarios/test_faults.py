@@ -1,0 +1,102 @@
+"""Scenario-native faults: projection into the chaos vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    CameraFault,
+    EnvironmentTrack,
+    ScenarioSpec,
+    scenario_fault_schedule,
+)
+from repro.scenarios.faults import scenario_fault_events
+from repro.streaming.faults import FAULT_KINDS, FaultEvent
+
+
+def _spec_with_faults(*faults) -> ScenarioSpec:
+    return ScenarioSpec.paper_sweep(drivers=3, duration=6.0).with_overrides(
+        environment=EnvironmentTrack(camera_faults=tuple(faults)))
+
+
+def test_camera_fault_kinds_are_registered_chaos_kinds():
+    assert "camera_covered" in FAULT_KINDS
+    assert "camera_blackout" in FAULT_KINDS
+
+
+def test_fleet_wide_fault_targets_star():
+    spec = _spec_with_faults(CameraFault("covered", 1.0, 2.0))
+    events = scenario_fault_events(spec)
+    assert len(events) == 1
+    assert (events[0].kind, events[0].target) == ("camera_covered", "*")
+    assert (events[0].start, events[0].end) == (1.0, 2.0)
+
+
+def test_targeted_faults_map_driver_ids_to_sessions():
+    spec = _spec_with_faults(
+        CameraFault("blackout", 2.0, 4.0, drivers=(0, 2)))
+    placeholders = scenario_fault_events(spec)
+    assert [e.target for e in placeholders] == ["driver-0", "driver-2"]
+    mapped = scenario_fault_events(spec, session_ids=["s-a", "s-b", "s-c"])
+    assert [e.target for e in mapped] == ["s-a", "s-c"]
+    assert all(e.kind == "camera_blackout" for e in mapped)
+
+
+def test_schedule_merges_scenario_and_extra_events():
+    spec = _spec_with_faults(CameraFault("covered", 1.0, 2.0))
+    extra = FaultEvent(3.0, 4.0, "sink_blackhole", "*")
+    schedule = scenario_fault_schedule(spec, extra=[extra])
+    kinds = {event.kind for event in schedule.events}
+    assert kinds == {"camera_covered", "sink_blackhole"}
+    assert schedule.active_for("camera_covered", "anything", 1.5) is not None
+    assert schedule.active_for("camera_covered", "anything", 2.5) is None
+
+
+def test_default_environment_yields_no_events():
+    spec = ScenarioSpec.paper_sweep(drivers=2, duration=6.0)
+    assert scenario_fault_events(spec) == []
+    assert len(scenario_fault_schedule(spec).events) == 0
+
+
+@pytest.mark.slow
+def test_committed_mixed_spec_drives_chaos(mixed_scenario_spec,
+                                           extended_ensemble):
+    """Third consumer of the committed fixture: the same mixed-class spec
+    that cuts training windows and pins the golden replay also drives the
+    serving chaos harness — its scheduled blackout joins the standard
+    shard-kill schedule, the extended heads serve every verdict, and the
+    zero-loss audit holds."""
+    from repro.serving import run_serving_chaos
+
+    report = run_serving_chaos(extended_ensemble, shards=2,
+                               scenario=mixed_scenario_spec)
+    assert report.violations == []
+    assert report.scenario == "mixed-fleet"
+    assert report.lost == 0
+    assert report.masked_frames == 12  # blackout 7-10 s, driver 0, 4 Hz
+    kinds = {event[1] for event in report.harness_log}
+    assert "shard_kill" in kinds
+    assert "camera_blackout" not in kinds  # masking happens at ingestion
+
+
+@pytest.mark.slow
+def test_serving_chaos_audits_scenario_camera_faults(serving_ensemble):
+    """A paper-class scenario with both camera-fault kinds runs through
+    the serving chaos harness with zero loss, and the audit proves the
+    scenario faults engaged (frames withheld, occluded frames served)."""
+    from repro.serving import run_serving_chaos
+
+    spec = ScenarioSpec.paper_sweep(
+        drivers=2, duration=8.0, seed=13).with_overrides(
+        name="chaos-cameras",
+        environment=EnvironmentTrack(camera_faults=(
+            CameraFault("blackout", 4.0, 6.0, drivers=(0,)),
+            CameraFault("covered", 2.0, 4.0, drivers=(1,)))))
+    report = run_serving_chaos(serving_ensemble, shards=2, scenario=spec)
+    assert report.violations == []
+    assert report.scenario == "chaos-cameras"
+    assert report.masked_frames == 8
+    assert report.covered_frames == 8
+    assert report.lost == 0
+    kinds = {event[1] for event in report.harness_log}
+    assert "shard_kill" in kinds  # standard schedule still runs alongside

@@ -1,0 +1,177 @@
+"""Scenario spec: validation, JSON round-trips, legacy equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.darnet import DriveScript
+from repro.datasets import DrivingBehavior, ExtendedBehavior
+from repro.exceptions import ConfigurationError
+from repro.scenarios import (
+    BehaviorSegment,
+    CameraFault,
+    EnvironmentTrack,
+    GpsRoute,
+    LightingPhase,
+    NoiseRegime,
+    RoadProfile,
+    ScenarioSpec,
+    Timeline,
+)
+
+
+def _minimal_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="t", duration=4.0,
+        timelines=(Timeline("all-normal", (
+            BehaviorSegment(0.0, 4.0, DrivingBehavior.NORMAL),)),))
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+# -- validation --------------------------------------------------------------
+
+def test_segment_window_must_be_ordered():
+    with pytest.raises(ConfigurationError):
+        BehaviorSegment(2.0, 1.0, DrivingBehavior.NORMAL)
+    with pytest.raises(ConfigurationError):
+        BehaviorSegment(-0.5, 1.0, DrivingBehavior.NORMAL)
+
+
+def test_timeline_needs_segments_and_positive_weight():
+    with pytest.raises(ConfigurationError):
+        Timeline("empty", ())
+    with pytest.raises(ConfigurationError):
+        Timeline("w", (BehaviorSegment(0, 1, DrivingBehavior.NORMAL),),
+                 weight=0.0)
+
+
+def test_camera_fault_kind_is_validated():
+    with pytest.raises(ConfigurationError):
+        CameraFault("smudged", 0.0, 1.0)
+    fault = CameraFault("covered", 0.0, 1.0, drivers=(1, 3))
+    assert fault.hits(1) and not fault.hits(0)
+    assert CameraFault("blackout", 0.0, 1.0).hits(7)
+
+
+def test_lighting_noise_road_gps_validation():
+    with pytest.raises(ConfigurationError):
+        LightingPhase(0.0, 1.0, low=0.8, high=0.2)
+    with pytest.raises(ConfigurationError):
+        NoiseRegime(0.0, 1.0, std=-0.1)
+    with pytest.raises(ConfigurationError):
+        RoadProfile(vibration=0.0)
+    with pytest.raises(ConfigurationError):
+        GpsRoute(speed_mps=-1.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        _minimal_spec(duration=0.0)
+    with pytest.raises(ConfigurationError):
+        _minimal_spec(drivers=0)
+    with pytest.raises(ConfigurationError):
+        _minimal_spec(timelines=())
+    with pytest.raises(ConfigurationError):
+        _minimal_spec(segment_jitter=-0.1)
+
+
+# -- derived properties ------------------------------------------------------
+
+def test_behaviors_and_is_extended():
+    spec = _minimal_spec()
+    assert spec.behaviors() == {DrivingBehavior.NORMAL}
+    assert not spec.is_extended
+    extended = _minimal_spec(timelines=(Timeline("d", (
+        BehaviorSegment(0.0, 4.0, ExtendedBehavior.DROWSY),)),))
+    assert extended.is_extended
+    assert ExtendedBehavior.DROWSY in extended.behaviors()
+
+
+def test_with_overrides_replaces_top_level_fields():
+    spec = _minimal_spec()
+    bigger = spec.with_overrides(drivers=11, seed=42)
+    assert (bigger.drivers, bigger.seed) == (11, 42)
+    assert bigger.timelines == spec.timelines
+    assert spec.drivers != 11  # original untouched (frozen)
+
+
+def test_timeline_script_lowering():
+    timeline = Timeline("t", (
+        BehaviorSegment(0.0, 2.0, DrivingBehavior.TEXTING),
+        BehaviorSegment(2.5, 4.0, ExtendedBehavior.CAMERA_COVERED)))
+    script = timeline.script()
+    assert isinstance(script, DriveScript)
+    assert script.segments[0] == (0.0, 2.0, DrivingBehavior.TEXTING)
+    assert script.segments[1][2] == ExtendedBehavior.CAMERA_COVERED
+
+
+def test_paper_sweep_matches_legacy_standard_script():
+    """The default spec encodes exactly the pre-DSL hardcoded sweep."""
+    spec = ScenarioSpec.paper_sweep(drivers=3, duration=20.0, seed=5)
+    segment = max(1.0, 20.0 / len(DrivingBehavior) - 0.25)
+    legacy = DriveScript.standard(segment_seconds=segment, gap_seconds=0.25)
+    assert len(spec.timelines) == 1
+    assert spec.timelines[0].script().segments == legacy.segments
+    assert (spec.drivers, spec.duration, spec.seed) == (3, 20.0, 5)
+    assert not spec.is_extended
+    assert spec.environment.is_default
+
+
+# -- serialization -----------------------------------------------------------
+
+def test_json_round_trip_default_sweep():
+    spec = ScenarioSpec.paper_sweep(drivers=2, duration=6.0, seed=3)
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_json_round_trip_mixed_fixture(mixed_scenario_spec):
+    spec = mixed_scenario_spec
+    again = ScenarioSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.environment == spec.environment
+
+
+def test_behaviours_serialize_as_enum_names(mixed_scenario_spec):
+    data = json.loads(mixed_scenario_spec.to_json())
+    names = {seg["behavior"] for timeline in data["timelines"]
+             for seg in timeline["segments"]}
+    assert "DROWSY" in names and "CAMERA_COVERED" in names
+    assert all(isinstance(name, str) for name in names)
+
+
+def test_unknown_behaviour_name_rejected():
+    data = json.loads(ScenarioSpec.paper_sweep().to_json())
+    data["timelines"][0]["segments"][0]["behavior"] = "JUGGLING"
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict(data)
+
+
+def test_missing_required_field_rejected():
+    data = json.loads(ScenarioSpec.paper_sweep().to_json())
+    del data["timelines"]
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_dict(data)
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_json("{not json")
+    with pytest.raises(ConfigurationError):
+        ScenarioSpec.from_json("[1, 2]")
+
+
+def test_save_load_round_trip(tmp_path):
+    spec = ScenarioSpec.paper_sweep(drivers=2, duration=6.0)
+    path = str(tmp_path / "spec.json")
+    spec.save(path)
+    assert ScenarioSpec.load(path) == spec
+
+
+def test_default_environment_omitted_from_json():
+    data = ScenarioSpec.paper_sweep().to_dict()
+    assert "environment" not in data
+    assert "segment_jitter" not in data
+    assert EnvironmentTrack().is_default

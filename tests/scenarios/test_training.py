@@ -1,0 +1,82 @@
+"""Training consumer: windows cut from the same bytes the replay streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenarios import ScenarioSpec, compile_scenario, scenario_training_set
+
+
+def test_training_set_shapes_and_label_space(mixed_scenario_spec):
+    dataset = scenario_training_set(mixed_scenario_spec)
+    instants = compile_scenario(mixed_scenario_spec).instants
+    per_driver = len(instants) - 20 + 1
+    assert len(dataset) == per_driver * mixed_scenario_spec.drivers
+    assert dataset.imu.shape[1:] == (20, 12)
+    assert dataset.images.ndim == 4 and dataset.images.shape[1] == 1
+    assert dataset.num_classes == 8
+    assert dataset.imu_labels.max() <= 3
+
+
+def test_paper_sweep_training_set_stays_six_class():
+    dataset = scenario_training_set(
+        ScenarioSpec.paper_sweep(drivers=1, duration=6.0), window_steps=8)
+    assert dataset.num_classes == 6
+    assert set(np.unique(dataset.drivers)) == {0}
+
+
+def test_training_windows_are_replay_bytes(mixed_scenario_spec):
+    """Satellite #3 consumer equality: every training sample is literally
+    a slice of the compiled trace the replay harness streams — the same
+    frame bytes, and the same IMU window values modulo the dataset's
+    float32 storage cast."""
+    compiled = compile_scenario(mixed_scenario_spec)
+    dataset = scenario_training_set(compiled)
+    instants = compiled.instants
+    cursor = 0
+    for trace in compiled.traces():
+        for k in range(19, len(instants)):
+            assert np.array_equal(dataset.images[cursor][0], trace.frames[k])
+            assert np.array_equal(
+                dataset.imu[cursor],
+                trace.imu[k - 19:k + 1].astype(np.float32))
+            assert dataset.labels[cursor] == trace.labels[k]
+            assert dataset.drivers[cursor] == trace.driver_id
+            cursor += 1
+    assert cursor == len(dataset)
+
+
+def test_two_builds_are_byte_identical(mixed_scenario_spec):
+    a = scenario_training_set(mixed_scenario_spec)
+    b = scenario_training_set(mixed_scenario_spec)
+    assert np.array_equal(a.images, b.images)
+    assert np.array_equal(a.imu, b.imu)
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_stride_subsamples_instants(mixed_scenario_spec):
+    full = scenario_training_set(mixed_scenario_spec)
+    strided = scenario_training_set(mixed_scenario_spec, stride=3)
+    assert len(strided) < len(full)
+    assert np.array_equal(strided.images[0], full.images[0])
+
+
+def test_masked_frames_can_be_dropped(mixed_scenario_spec):
+    kept = scenario_training_set(mixed_scenario_spec)
+    dropped = scenario_training_set(mixed_scenario_spec,
+                                    include_masked_frames=False)
+    masked = sum(int((~t.frame_mask).sum())
+                 for t in compile_scenario(mixed_scenario_spec).traces()
+                 if t.frame_mask is not None)
+    assert masked > 0
+    assert len(kept) - len(dropped) == masked
+
+
+def test_window_and_stride_validation(mixed_scenario_spec):
+    with pytest.raises(ConfigurationError):
+        scenario_training_set(mixed_scenario_spec, stride=0)
+    with pytest.raises(ConfigurationError):
+        scenario_training_set(
+            ScenarioSpec.paper_sweep(drivers=1, duration=2.0))
